@@ -1,0 +1,151 @@
+//! Baselines 1–3 from Sec. V.
+
+use astra_core::{PlanSpec, ReduceSpec};
+use astra_model::JobSpec;
+
+/// A named baseline configuration policy.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Display name ("Baseline 1" …).
+    pub name: &'static str,
+    build: fn(&JobSpec) -> PlanSpec,
+}
+
+impl Baseline {
+    /// The configuration this baseline picks for `job`.
+    pub fn spec_for(&self, job: &JobSpec) -> PlanSpec {
+        (self.build)(job)
+    }
+
+    /// The three paper baselines in order.
+    pub fn all() -> Vec<Baseline> {
+        vec![baseline1(), baseline2(), baseline3()]
+    }
+}
+
+/// Baseline 1 — performance-leaning: "1536 MB is allocated for all
+/// lambdas … the number of objects per mapper is set as 1 to realize the
+/// maximum degree of parallelism … we randomly allocate the number of
+/// objects per reducer as 2."
+pub fn baseline1() -> Baseline {
+    Baseline {
+        name: "Baseline 1",
+        build: |_job| PlanSpec {
+            mapper_mem_mb: 1536,
+            coordinator_mem_mb: 1536,
+            reducer_mem_mb: 1536,
+            objects_per_mapper: 1,
+            reduce_spec: ReduceSpec::PerReducer(2),
+        },
+    }
+}
+
+/// Baseline 2 — cost-leaning: "the lambdas are naively allocated with the
+/// smallest memory block 128 MB, and the objects allocations are
+/// maintained the same as Baseline 1."
+pub fn baseline2() -> Baseline {
+    Baseline {
+        name: "Baseline 2",
+        build: |_job| PlanSpec {
+            mapper_mem_mb: 128,
+            coordinator_mem_mb: 128,
+            reducer_mem_mb: 128,
+            objects_per_mapper: 1,
+            reduce_spec: ReduceSpec::PerReducer(2),
+        },
+    }
+}
+
+/// Baseline 3 — hybrid: mappers as in Baseline 2 (128 MB, one object
+/// each); "for the reducing phase, Baseline 3 allocates 1536 MB to three
+/// reducer lambdas in two steps, and the two reducers in the first step
+/// each process half of the total objects."
+pub fn baseline3() -> Baseline {
+    Baseline {
+        name: "Baseline 3",
+        build: |job| {
+            // With a single mapper output the [2, 1] layout is impossible;
+            // degrade to the one-reducer step the coordinator would use.
+            let steps = if job.num_objects() >= 2 {
+                vec![2, 1]
+            } else {
+                vec![1]
+            };
+            PlanSpec {
+                mapper_mem_mb: 128,
+                coordinator_mem_mb: 1536,
+                reducer_mem_mb: 1536,
+                objects_per_mapper: 1,
+                reduce_spec: ReduceSpec::ExplicitSteps(steps),
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_core::Plan;
+    use astra_model::{Platform, WorkloadProfile};
+    use astra_pricing::PriceCatalog;
+
+    fn job(n: usize) -> JobSpec {
+        JobSpec::uniform("b", n, 1.0, WorkloadProfile::uniform_test())
+    }
+
+    #[test]
+    fn baseline1_maximises_parallelism_at_1536() {
+        let s = baseline1().spec_for(&job(10));
+        assert_eq!(s.mapper_mem_mb, 1536);
+        assert_eq!(s.objects_per_mapper, 1);
+        assert_eq!(s.reduce_spec, ReduceSpec::PerReducer(2));
+    }
+
+    #[test]
+    fn baseline2_is_all_128() {
+        let s = baseline2().spec_for(&job(10));
+        assert_eq!(
+            (s.mapper_mem_mb, s.coordinator_mem_mb, s.reducer_mem_mb),
+            (128, 128, 128)
+        );
+    }
+
+    #[test]
+    fn baseline3_uses_two_step_explicit_layout() {
+        let s = baseline3().spec_for(&job(10));
+        assert_eq!(s.mapper_mem_mb, 128);
+        assert_eq!(s.reducer_mem_mb, 1536);
+        assert_eq!(s.reduce_spec, ReduceSpec::ExplicitSteps(vec![2, 1]));
+        // Degenerate single-object job.
+        let s1 = baseline3().spec_for(&job(1));
+        assert_eq!(s1.reduce_spec, ReduceSpec::ExplicitSteps(vec![1]));
+    }
+
+    #[test]
+    fn all_baselines_evaluate_on_a_real_job() {
+        let platform = Platform::paper_literal(40.0);
+        let catalog = PriceCatalog::aws_2020();
+        let j = job(10);
+        for b in Baseline::all() {
+            let plan = Plan::evaluate(&j, &platform, &catalog, b.spec_for(&j))
+                .unwrap_or_else(|e| panic!("{} failed: {e}", b.name));
+            assert!(plan.predicted_jct_s() > 0.0, "{}", b.name);
+            // B3 always runs exactly 2 steps with 3 reducers.
+            if b.name == "Baseline 3" {
+                assert_eq!(plan.reducers_per_step(), vec![2, 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn baseline1_is_faster_baseline2_is_cheaper() {
+        // The relationship the paper's Figs. 7–8 rely on.
+        let platform = Platform::paper_literal(40.0);
+        let catalog = PriceCatalog::aws_2020();
+        let j = job(10);
+        let p1 = Plan::evaluate(&j, &platform, &catalog, baseline1().spec_for(&j)).unwrap();
+        let p2 = Plan::evaluate(&j, &platform, &catalog, baseline2().spec_for(&j)).unwrap();
+        assert!(p1.predicted_jct_s() < p2.predicted_jct_s());
+        assert!(p2.predicted_cost() < p1.predicted_cost());
+    }
+}

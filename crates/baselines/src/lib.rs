@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! The comparison systems from the paper's evaluation.
+//!
+//! * [`configs`] — Baselines 1–3 (Sec. V): hand-crafted serverless
+//!   configurations a practitioner might pick from Fig. 6-style
+//!   observations, without Astra's model. They produce the same
+//!   [`PlanSpec`](astra_core::PlanSpec)s the planner does, so they run on
+//!   the identical simulator — only the *choice* differs.
+//! * [`emr`] — the VM-based comparison of Fig. 9: a wave-scheduled
+//!   Hadoop-style cluster of 3 `m3.xlarge` instances with 100 concurrent
+//!   map tasks, billed at EC2 + EMR rates.
+//! * [`spark`] — the Sec. V "Discussion" preliminary: a vanilla-Spark-
+//!   on-VMs cost model (hourly-billed standing cluster) for the ≥92 %
+//!   cost-reduction claim.
+
+pub mod configs;
+pub mod emr;
+pub mod spark;
+
+pub use configs::{baseline1, baseline2, baseline3, Baseline};
+pub use emr::{EmrCluster, EmrReport};
+pub use spark::SparkVmModel;

@@ -1,0 +1,102 @@
+//! Vanilla-Spark-on-VMs cost model for the Sec. V Discussion ablation.
+//!
+//! "Astra achieves at least 92 % cost reduction without performance
+//! degradation over VM-based vanilla Spark" — the structural reason is
+//! billing granularity: a standing Spark cluster is provisioned for peak
+//! and billed by the VM-hour (with an hourly minimum in classic EC2
+//! setups), while serverless bills per 100 ms of actual function time.
+//! This model captures exactly that.
+
+use astra_model::JobSpec;
+use astra_pricing::{Money, VmPricing, M3_XLARGE};
+use serde::{Deserialize, Serialize};
+
+/// A standing Spark cluster on VMs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SparkVmModel {
+    /// Instances in the standing cluster.
+    pub instances: u32,
+    /// vCPUs per instance.
+    pub vcpus_per_instance: u32,
+    /// One vCPU's speed relative to a 128 MB lambda.
+    pub vcpu_speed_vs_128: f64,
+    /// Aggregate network bandwidth in MB/s.
+    pub cluster_net_mbps: f64,
+    /// Spark job overhead (driver + stage scheduling), seconds.
+    pub job_overhead_s: f64,
+    /// Instance pricing.
+    pub pricing: VmPricing,
+    /// Billing rounds the cluster's time up to this many seconds
+    /// (3600 = classic hourly VM billing; vanilla Spark clusters are
+    /// typically provisioned per-hour or standing).
+    pub billing_quantum_s: u64,
+}
+
+impl SparkVmModel {
+    /// Three m3.xlarge, hourly billing — the Discussion's comparison.
+    pub fn paper_setup() -> Self {
+        SparkVmModel {
+            instances: 3,
+            vcpus_per_instance: 4,
+            vcpu_speed_vs_128: 7.0,
+            cluster_net_mbps: 3.0 * 125.0,
+            job_overhead_s: 15.0,
+            pricing: M3_XLARGE,
+            billing_quantum_s: 3600,
+        }
+    }
+
+    /// Job completion time on the Spark cluster (same structural model as
+    /// EMR but with lighter per-job overhead — Spark keeps executors hot).
+    pub fn jct_s(&self, job: &JobSpec) -> f64 {
+        let cores = (self.instances * self.vcpus_per_instance) as f64;
+        let d = job.total_mb();
+        let s = job.shuffle_mb();
+        let p = &job.profile;
+        let map = (d * p.map_secs_per_mb_128 / self.vcpu_speed_vs_128 / cores)
+            .max(d / self.cluster_net_mbps);
+        let shuffle = s / self.cluster_net_mbps;
+        let reduce = s * p.reduce_secs_per_mb_128 / self.vcpu_speed_vs_128 / cores;
+        self.job_overhead_s + map + shuffle + reduce
+    }
+
+    /// What the job costs on the hourly-billed cluster.
+    pub fn cost(&self, job: &JobSpec) -> Money {
+        let jct = self.jct_s(job);
+        let billed_s = (jct.ceil() as u64).div_ceil(self.billing_quantum_s) * self.billing_quantum_s;
+        self.pricing
+            .cluster_cost(self.instances, billed_s * 1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_model::WorkloadProfile;
+
+    #[test]
+    fn short_jobs_still_pay_a_full_hour() {
+        let m = SparkVmModel::paper_setup();
+        let job = JobSpec::uniform("t", 4, 10.0, WorkloadProfile::uniform_test());
+        assert!(m.jct_s(&job) < 120.0);
+        // 3 instances x 1 h x $0.336 = $1.008 regardless.
+        assert_eq!(m.cost(&job), Money::from_dollars_f64(1.008));
+    }
+
+    #[test]
+    fn long_jobs_pay_multiple_hours() {
+        let m = SparkVmModel::paper_setup();
+        // ~100 GB compute-heavy job: several hours on 12 cores.
+        let profile = WorkloadProfile {
+            map_secs_per_mb_128: 15.0,
+            ..WorkloadProfile::uniform_test()
+        };
+        let job = JobSpec::uniform("t", 200, 500.0, profile);
+        let hours = (m.jct_s(&job) / 3600.0).ceil();
+        assert!(hours >= 2.0);
+        assert_eq!(
+            m.cost(&job),
+            Money::from_dollars_f64(1.008).scale(hours)
+        );
+    }
+}

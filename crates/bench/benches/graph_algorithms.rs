@@ -1,0 +1,86 @@
+//! Scaling of the graph substrate: Dijkstra, the exact constrained
+//! shortest path, and Yen's k-shortest paths on layered DAGs shaped like
+//! the planner's.
+
+use astra_graph::csp::constrained_shortest_path;
+use astra_graph::dijkstra::shortest_path_all;
+use astra_graph::yen::KShortestPaths;
+use astra_graph::{DiGraph, NodeId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+/// A layered DAG with `layers` columns of `width` nodes, fully connected
+/// layer to layer, carrying (time, cost) pairs.
+fn layered(width: usize, layers: usize, seed: u64) -> (DiGraph<(), (f64, f64)>, NodeId, NodeId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::new();
+    let s = g.add_node(());
+    let mut prev = vec![s];
+    for _ in 0..layers {
+        let layer: Vec<NodeId> = (0..width).map(|_| g.add_node(())).collect();
+        for &u in &prev {
+            for &v in &layer {
+                g.add_edge(u, v, (rng.random_range(0.1..10.0), rng.random_range(0.1..10.0)));
+            }
+        }
+        prev = layer;
+    }
+    let t = g.add_node(());
+    for &u in &prev {
+        g.add_edge(u, t, (0.0, 0.0));
+    }
+    (g, s, t)
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra_layered");
+    for width in [16usize, 46, 128] {
+        let (g, s, t) = layered(width, 5, 1);
+        group.bench_function(format!("width={width}"), |b| {
+            b.iter(|| {
+                shortest_path_all(black_box(&g), s, t, |_, e| e.0)
+                    .unwrap()
+                    .weight
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_csp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constrained_shortest_path");
+    for width in [16usize, 46, 128] {
+        let (g, s, t) = layered(width, 5, 2);
+        // A mid-tightness bound: roughly half the unconstrained optimum's
+        // resource use times the layer count.
+        let bound = 5.0 * 5.0;
+        group.bench_function(format!("width={width}"), |b| {
+            b.iter(|| {
+                constrained_shortest_path(black_box(&g), s, t, bound, |_, e| e.0, |_, e| e.1)
+                    .map(|sol| sol.weight)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_yen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yen_k_shortest_k=25");
+    for width in [8usize, 16, 32] {
+        let (g, s, t) = layered(width, 4, 3);
+        group.bench_function(format!("width={width}"), |b| {
+            b.iter(|| {
+                KShortestPaths::new(black_box(&g), s, t, |_, e| e.0)
+                    .take(25)
+                    .map(|p| p.weight)
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dijkstra, bench_csp, bench_yen);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! Shared fixtures for the Criterion benches.
+//!
+//! The benches quantify the paper's Discussion claim — Astra's planning
+//! overhead "is within a few seconds on a laptop" — plus the scaling of
+//! the underlying machinery (DAG construction, shortest-path solvers,
+//! the event simulator) and the Algorithm 1 vs exact-solver ablation.
+//! Run with `cargo bench --workspace`; per-table summaries land in
+//! `target/criterion/`.
+
+use astra_core::{Astra, ConfigSpace, Objective, Strategy};
+use astra_model::{JobSpec, Platform, WorkloadProfile};
+use astra_pricing::PriceCatalog;
+use astra_workloads::WorkloadSpec;
+
+/// The default planner over the evaluation platform.
+pub fn planner(strategy: Strategy) -> Astra {
+    Astra::new(Platform::aws_lambda(), PriceCatalog::aws_2020(), strategy)
+}
+
+/// The five paper workloads with display labels.
+pub fn paper_jobs() -> Vec<(String, JobSpec)> {
+    WorkloadSpec::paper_suite()
+        .into_iter()
+        .map(|s| (s.label(), s.into_job()))
+        .collect()
+}
+
+/// A uniform synthetic job with `n` objects for scaling benches.
+pub fn synthetic_job(n: usize) -> JobSpec {
+    JobSpec::uniform("bench", n, 4.0, WorkloadProfile::uniform_test())
+}
+
+/// A binding budget objective for `job` (midpoint of the cost range).
+pub fn binding_budget(astra: &Astra, job: &JobSpec) -> Objective {
+    let cheapest = astra.plan(job, Objective::cheapest()).unwrap();
+    let fastest = astra.plan(job, Objective::fastest()).unwrap();
+    let lo = cheapest.predicted_cost().nanos();
+    let hi = fastest.predicted_cost().nanos();
+    Objective::MinimizeTime {
+        budget: astra_pricing::Money::from_nanos((lo + hi) / 2),
+    }
+}
+
+/// The full configuration space for `job`.
+pub fn full_space(astra: &Astra, job: &JobSpec) -> ConfigSpace {
+    ConfigSpace::full(job, astra.platform())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(paper_jobs().len(), 5);
+        let astra = planner(Strategy::ExactCsp);
+        let job = synthetic_job(6);
+        let objective = binding_budget(&astra, &job);
+        assert!(astra.plan(&job, objective).is_ok());
+    }
+}

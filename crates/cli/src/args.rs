@@ -1,0 +1,243 @@
+//! Argument parsing for the `astra` binary.
+
+use astra_workloads::WorkloadSpec;
+
+/// Planning/simulation options shared by several subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOpts {
+    /// Which benchmark workload to operate on.
+    pub workload: WorkloadSpec,
+    /// Budget in dollars (`--budget`), if the user gave one.
+    pub budget: Option<f64>,
+    /// Deadline in seconds (`--deadline`), if the user gave one.
+    pub deadline_s: Option<f64>,
+    /// Simulator noise CV (`--noise`, default 0.1 for `simulate`).
+    pub noise_cv: f64,
+    /// Simulator seed (`--seed`).
+    pub seed: u64,
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `astra workloads` — list the built-in benchmarks.
+    Workloads,
+    /// `astra plan --workload W [--budget $ | --deadline s]`.
+    Plan(JobOpts),
+    /// `astra simulate --workload W [--budget | --deadline] [--noise --seed]`.
+    Simulate(JobOpts),
+    /// `astra baselines --workload W` — compare against Baselines 1–3.
+    Baselines {
+        /// The workload to compare on.
+        workload: WorkloadSpec,
+    },
+    /// `astra timeline --workload W [...]` — ASCII Gantt of a run.
+    Timeline(JobOpts),
+    /// `astra frontier --workload W` — the cost-performance Pareto
+    /// frontier.
+    Frontier {
+        /// The workload to sweep.
+        workload: WorkloadSpec,
+    },
+    /// `astra help`.
+    Help,
+}
+
+/// Why parsing failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown or malformed flag.
+    BadFlag(String),
+    /// A flag that needs a value did not get one.
+    MissingValue(String),
+    /// Unknown workload name.
+    UnknownWorkload(String),
+    /// No subcommand given.
+    Empty,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownCommand(c) => write!(f, "unknown command '{c}' (try 'astra help')"),
+            ParseError::BadFlag(x) => write!(f, "unknown flag '{x}'"),
+            ParseError::MissingValue(x) => write!(f, "flag '{x}' needs a value"),
+            ParseError::UnknownWorkload(w) => write!(
+                f,
+                "unknown workload '{w}' (try wordcount-1gb, wordcount-10gb, wordcount-20gb, sort-100gb, query)"
+            ),
+            ParseError::Empty => write!(f, "no command given (try 'astra help')"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a workload name.
+pub fn parse_workload(name: &str) -> Result<WorkloadSpec, ParseError> {
+    match name.to_ascii_lowercase().as_str() {
+        "wordcount-1gb" | "wc1" => Ok(WorkloadSpec::wordcount_gb(1)),
+        "wordcount-10gb" | "wc10" => Ok(WorkloadSpec::wordcount_gb(10)),
+        "wordcount-20gb" | "wc20" => Ok(WorkloadSpec::wordcount_gb(20)),
+        "sort-100gb" | "sort" => Ok(WorkloadSpec::Sort100),
+        "query" | "query-uservisits" => Ok(WorkloadSpec::QueryUservisits),
+        other => Err(ParseError::UnknownWorkload(other.to_string())),
+    }
+}
+
+fn parse_job_opts(args: &[String]) -> Result<JobOpts, ParseError> {
+    let mut workload = WorkloadSpec::wordcount_gb(1);
+    let mut budget = None;
+    let mut deadline = None;
+    let mut noise = 0.1;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> Result<&String, ParseError> {
+            args.get(i + 1)
+                .ok_or_else(|| ParseError::MissingValue(flag.to_string()))
+        };
+        match flag {
+            "--workload" | "-w" => {
+                workload = parse_workload(value()?)?;
+                i += 2;
+            }
+            "--budget" | "-b" => {
+                budget = Some(
+                    value()?
+                        .parse::<f64>()
+                        .map_err(|_| ParseError::BadFlag(flag.to_string()))?,
+                );
+                i += 2;
+            }
+            "--deadline" | "-d" => {
+                deadline = Some(
+                    value()?
+                        .parse::<f64>()
+                        .map_err(|_| ParseError::BadFlag(flag.to_string()))?,
+                );
+                i += 2;
+            }
+            "--noise" => {
+                noise = value()?
+                    .parse::<f64>()
+                    .map_err(|_| ParseError::BadFlag(flag.to_string()))?;
+                i += 2;
+            }
+            "--seed" => {
+                seed = value()?
+                    .parse::<u64>()
+                    .map_err(|_| ParseError::BadFlag(flag.to_string()))?;
+                i += 2;
+            }
+            other => return Err(ParseError::BadFlag(other.to_string())),
+        }
+    }
+    Ok(JobOpts {
+        workload,
+        budget,
+        deadline_s: deadline,
+        noise_cv: noise,
+        seed,
+    })
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(command) = args.first() else {
+        return Err(ParseError::Empty);
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "workloads" => Ok(Command::Workloads),
+        "plan" => Ok(Command::Plan(parse_job_opts(rest)?)),
+        "simulate" | "sim" => Ok(Command::Simulate(parse_job_opts(rest)?)),
+        "baselines" => {
+            let opts = parse_job_opts(rest)?;
+            Ok(Command::Baselines {
+                workload: opts.workload,
+            })
+        }
+        "timeline" => Ok(Command::Timeline(parse_job_opts(rest)?)),
+        "frontier" => {
+            let opts = parse_job_opts(rest)?;
+            Ok(Command::Frontier {
+                workload: opts.workload,
+            })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_plan_with_budget() {
+        let cmd = parse(&argv("plan --workload sort-100gb --budget 0.25")).unwrap();
+        let Command::Plan(opts) = cmd else { panic!() };
+        assert_eq!(opts.workload, WorkloadSpec::Sort100);
+        assert_eq!(opts.budget, Some(0.25));
+        assert_eq!(opts.deadline_s, None);
+    }
+
+    #[test]
+    fn parses_simulate_with_noise_and_seed() {
+        let cmd = parse(&argv("sim -w query --deadline 60 --noise 0.2 --seed 7")).unwrap();
+        let Command::Simulate(opts) = cmd else { panic!() };
+        assert_eq!(opts.workload, WorkloadSpec::QueryUservisits);
+        assert_eq!(opts.deadline_s, Some(60.0));
+        assert_eq!(opts.noise_cv, 0.2);
+        assert_eq!(opts.seed, 7);
+    }
+
+    #[test]
+    fn workload_aliases() {
+        assert_eq!(parse_workload("wc20").unwrap(), WorkloadSpec::wordcount_gb(20));
+        assert_eq!(parse_workload("SORT").unwrap(), WorkloadSpec::Sort100);
+        assert!(parse_workload("nope").is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert_eq!(parse(&[]), Err(ParseError::Empty));
+        assert!(matches!(
+            parse(&argv("frobnicate")),
+            Err(ParseError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            parse(&argv("plan --budget")),
+            Err(ParseError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse(&argv("plan --wat 3")),
+            Err(ParseError::BadFlag(_))
+        ));
+    }
+
+    #[test]
+    fn frontier_parses() {
+        let cmd = parse(&argv("frontier -w sort")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Frontier {
+                workload: WorkloadSpec::Sort100
+            }
+        );
+    }
+
+    #[test]
+    fn help_parses() {
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+}

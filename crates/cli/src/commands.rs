@@ -1,0 +1,314 @@
+//! Implementations of the `astra` subcommands.
+
+use std::io::Write;
+
+use astra_baselines::Baseline;
+use astra_core::{Astra, Objective, Plan};
+use astra_faas::SimConfig;
+use astra_mapreduce::simulate as run_sim;
+use astra_model::{JobSpec, Platform};
+use astra_pricing::PriceCatalog;
+use astra_workloads::WorkloadSpec;
+
+use crate::args::JobOpts;
+
+fn objective_for(opts: &JobOpts) -> Objective {
+    match (opts.budget, opts.deadline_s) {
+        (Some(b), _) => Objective::min_time_with_budget_dollars(b),
+        (None, Some(d)) => Objective::min_cost_with_deadline_s(d),
+        (None, None) => Objective::fastest(),
+    }
+}
+
+fn plan_job(opts: &JobOpts) -> Result<(JobSpec, Plan), String> {
+    let job = opts.workload.into_job();
+    let astra = Astra::with_defaults();
+    let objective = objective_for(opts);
+    astra
+        .plan(&job, objective)
+        .map(|plan| (job, plan))
+        .map_err(|e| e.to_string())
+}
+
+/// `astra workloads`.
+pub fn workloads(out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(out, "Built-in benchmark workloads (paper Sec. V):")?;
+    for spec in WorkloadSpec::paper_suite() {
+        let job = spec.into_job();
+        writeln!(
+            out,
+            "  {:<18} {:>4} objects x {:>7.1} MB  (profile: {})",
+            spec.label(),
+            job.num_objects(),
+            job.object_sizes_mb[0],
+            job.profile.name
+        )?;
+    }
+    writeln!(out, "\nNames: wordcount-1gb wordcount-10gb wordcount-20gb sort-100gb query")
+}
+
+/// `astra plan`.
+pub fn plan(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    match plan_job(&opts) {
+        Ok((job, plan)) => {
+            writeln!(out, "Workload : {}", opts.workload.label())?;
+            writeln!(out, "Objective: {}", objective_for(&opts))?;
+            writeln!(out, "Plan     : {}", plan.summary())?;
+            writeln!(
+                out,
+                "Phases   : map {:.1}s | coordinator {:.1}s | reduce {:.1}s ({} steps: {:?})",
+                plan.evaluation.perf.mapper.duration_s,
+                plan.evaluation.perf.coordinator_s(),
+                plan.evaluation.perf.reduce.duration_s(),
+                plan.reduce_steps(),
+                plan.reducers_per_step(),
+            )?;
+            writeln!(
+                out,
+                "Cost     : requests {} | storage {} | invocations {} | runtime {}",
+                plan.evaluation.cost.requests,
+                plan.evaluation.cost.storage,
+                plan.evaluation.cost.invocations,
+                plan.evaluation.cost.runtime,
+            )?;
+            let _ = job;
+        }
+        Err(e) => writeln!(out, "planning failed: {e}")?,
+    }
+    Ok(())
+}
+
+/// `astra simulate`.
+pub fn simulate(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    match plan_job(&opts) {
+        Ok((job, plan)) => {
+            let config = SimConfig::deterministic(Platform::aws_lambda()).with_noise(opts.noise_cv, opts.seed);
+            match run_sim(&job, &plan, config) {
+                Ok(report) => {
+                    writeln!(out, "Plan      : {}", plan.summary())?;
+                    writeln!(
+                        out,
+                        "Simulated : JCT {:.1}s (predicted {:.1}s), cost {} (predicted {})",
+                        report.jct_s(),
+                        plan.predicted_jct_s(),
+                        report.total_cost(),
+                        plan.predicted_cost(),
+                    )?;
+                    writeln!(
+                        out,
+                        "Platform  : {} invocations, peak concurrency {}, {} GETs, {} PUTs",
+                        report.invocation_count(),
+                        report.peak_concurrency,
+                        report.ledger.gets,
+                        report.ledger.puts,
+                    )?;
+                }
+                Err(e) => writeln!(out, "simulation failed: {e}")?,
+            }
+        }
+        Err(e) => writeln!(out, "planning failed: {e}")?,
+    }
+    Ok(())
+}
+
+/// `astra baselines`.
+pub fn baselines(workload: WorkloadSpec, out: &mut dyn Write) -> std::io::Result<()> {
+    let job = workload.into_job();
+    let mut relaxed = Platform::aws_lambda();
+    relaxed.timeout_s = f64::INFINITY;
+    let catalog = PriceCatalog::aws_2020();
+
+    writeln!(out, "Workload: {}\n", workload.label())?;
+    writeln!(
+        out,
+        "{:<12} {:>10} {:>14}  configuration",
+        "system", "pred JCT", "pred cost"
+    )?;
+    let astra = Astra::with_defaults();
+    let fastest = astra.plan(&job, Objective::fastest());
+    for b in Baseline::all() {
+        match Plan::evaluate(&job, &relaxed, &catalog, b.spec_for(&job)) {
+            Ok(p) => writeln!(
+                out,
+                "{:<12} {:>9.1}s {:>14}  {}",
+                b.name,
+                p.predicted_jct_s(),
+                p.predicted_cost().to_string(),
+                p.summary()
+            )?,
+            Err(e) => writeln!(out, "{:<12} infeasible: {e}", b.name)?,
+        }
+    }
+    if let Ok(p) = fastest {
+        writeln!(
+            out,
+            "{:<12} {:>9.1}s {:>14}  {}",
+            "Astra",
+            p.predicted_jct_s(),
+            p.predicted_cost().to_string(),
+            p.summary()
+        )?;
+    }
+    Ok(())
+}
+
+/// `astra timeline`.
+pub fn timeline(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    match plan_job(&opts) {
+        Ok((job, plan)) => {
+            let config = SimConfig::deterministic(Platform::aws_lambda()).with_noise(opts.noise_cv, opts.seed);
+            match run_sim(&job, &plan, config) {
+                Ok(report) => {
+                    writeln!(out, "{} — JCT {:.1}s", plan.summary(), report.jct_s())?;
+                    writeln!(out, "legend: c cold-start | r GET | # compute | w PUT | . waiting | q queued\n")?;
+                    write!(out, "{}", report.trace.ascii_gantt(100))?;
+                }
+                Err(e) => writeln!(out, "simulation failed: {e}")?,
+            }
+        }
+        Err(e) => writeln!(out, "planning failed: {e}")?,
+    }
+    Ok(())
+}
+
+/// `astra frontier`.
+pub fn frontier(workload: WorkloadSpec, out: &mut dyn Write) -> std::io::Result<()> {
+    let job = workload.into_job();
+    let astra = Astra::with_defaults();
+    match astra.pareto_frontier(&job, 12) {
+        Ok(frontier) => {
+            writeln!(out, "Cost-performance frontier for {}:\n", workload.label())?;
+            writeln!(out, "{:>14} {:>10}  configuration", "spend", "JCT")?;
+            for plan in &frontier {
+                writeln!(
+                    out,
+                    "{:>14} {:>9.1}s  {}",
+                    plan.predicted_cost().to_string(),
+                    plan.predicted_jct_s(),
+                    plan.summary()
+                )?;
+            }
+            writeln!(
+                out,
+                "\n{} distinct plans between the cheapest and the fastest.",
+                frontier.len()
+            )?;
+        }
+        Err(e) => writeln!(out, "planning failed: {e}")?,
+    }
+    Ok(())
+}
+
+/// `astra help`.
+pub fn help(out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "astra — autonomous serverless analytics planner (paper reproduction)
+
+USAGE:
+    astra <command> [flags]
+
+COMMANDS:
+    workloads                       list the built-in benchmarks
+    plan      -w <workload> [...]   derive the optimal execution plan
+    simulate  -w <workload> [...]   plan, then execute on the FaaS simulator
+    baselines -w <workload>         compare Astra against Baselines 1-3
+    timeline  -w <workload> [...]   ASCII Gantt chart of a simulated run
+    frontier  -w <workload>         the cost-performance Pareto frontier
+    help                            this message
+
+FLAGS:
+    -w, --workload <name>   wordcount-1gb|wordcount-10gb|wordcount-20gb|sort-100gb|query
+    -b, --budget <dollars>  minimize completion time under this budget
+    -d, --deadline <secs>   minimize cost under this completion-time threshold
+        --noise <cv>        simulator runtime-noise CV (default 0.1)
+        --seed <n>          simulator seed (default 42)
+
+With neither --budget nor --deadline, astra plans for the fastest execution."
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture(cmd: crate::Command) -> String {
+        let mut buf = Vec::new();
+        crate::run(cmd, &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn workloads_lists_all_five() {
+        let text = capture(crate::Command::Workloads);
+        assert!(text.contains("Wordcount (1GB)"));
+        assert!(text.contains("Sort (100GB)"));
+        assert!(text.contains("Query (25.4GB)"));
+    }
+
+    #[test]
+    fn plan_reports_a_feasible_plan() {
+        let opts = JobOpts {
+            workload: WorkloadSpec::wordcount_gb(1),
+            budget: Some(0.004),
+            deadline_s: None,
+            noise_cv: 0.0,
+            seed: 1,
+        };
+        let text = capture(crate::Command::Plan(opts));
+        assert!(text.contains("Plan"), "{text}");
+        assert!(text.contains("mappers="), "{text}");
+    }
+
+    #[test]
+    fn simulate_reports_measured_numbers() {
+        let opts = JobOpts {
+            workload: WorkloadSpec::wordcount_gb(1),
+            budget: None,
+            deadline_s: Some(120.0),
+            noise_cv: 0.0,
+            seed: 1,
+        };
+        let text = capture(crate::Command::Simulate(opts));
+        assert!(text.contains("Simulated"), "{text}");
+        assert!(text.contains("invocations"), "{text}");
+    }
+
+    #[test]
+    fn baselines_table_includes_astra_row() {
+        let text = capture(crate::Command::Baselines {
+            workload: WorkloadSpec::wordcount_gb(1),
+        });
+        assert!(text.contains("Baseline 1"));
+        assert!(text.contains("Astra"));
+    }
+
+    #[test]
+    fn hopeless_budget_is_reported_not_panicked() {
+        let opts = JobOpts {
+            workload: WorkloadSpec::wordcount_gb(1),
+            budget: Some(0.0000001),
+            deadline_s: None,
+            noise_cv: 0.0,
+            seed: 1,
+        };
+        let text = capture(crate::Command::Plan(opts));
+        assert!(text.contains("planning failed"), "{text}");
+    }
+
+    #[test]
+    fn help_mentions_every_command() {
+        let text = capture(crate::Command::Help);
+        for cmd in ["workloads", "plan", "simulate", "baselines", "timeline", "frontier"] {
+            assert!(text.contains(cmd), "missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn frontier_lists_multiple_plans() {
+        let text = capture(crate::Command::Frontier {
+            workload: WorkloadSpec::wordcount_gb(1),
+        });
+        assert!(text.contains("distinct plans"), "{text}");
+    }
+}

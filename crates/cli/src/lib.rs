@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Library backing the `astra` command-line tool.
+//!
+//! A deliberately dependency-free argument parser (the approved crate set
+//! has no CLI framework) plus one function per subcommand. The binary in
+//! `main.rs` is a thin shim so everything here is unit-testable.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseError};
+
+/// Run a parsed command, writing human-readable output to `out`.
+pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+    match command {
+        Command::Workloads => commands::workloads(out),
+        Command::Plan(opts) => commands::plan(opts, out),
+        Command::Simulate(opts) => commands::simulate(opts, out),
+        Command::Baselines { workload } => commands::baselines(workload, out),
+        Command::Timeline(opts) => commands::timeline(opts, out),
+        Command::Frontier { workload } => commands::frontier(workload, out),
+        Command::Help => commands::help(out),
+    }
+}

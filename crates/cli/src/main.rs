@@ -1,0 +1,19 @@
+//! The `astra` binary: parse args, dispatch, print.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match astra_cli::parse(&args) {
+        Ok(command) => {
+            if let Err(e) = astra_cli::run(command, &mut out) {
+                eprintln!("astra: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("astra: {e}");
+            std::process::exit(2);
+        }
+    }
+}

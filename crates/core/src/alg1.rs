@@ -1,0 +1,194 @@
+//! A faithful implementation of the paper's Algorithm 1.
+//!
+//! > `P ← Dijkstra(G, W, F)`; walk the path accumulating the constraint
+//! > metric; when it trips the bound, remove the offending edge from `E`
+//! > and recurse.
+//!
+//! This is a *heuristic*: removing one edge of an over-budget path does
+//! not, in general, preserve the optimal feasible path (the removed edge
+//! may belong to it with a different prefix). The ablation bench
+//! `alg1_vs_exact` measures how often and by how much it diverges from
+//! the exact constrained solver on this problem family — on Astra's DAGs
+//! the constraint accumulates monotonically along a path, so the
+//! heuristic is usually right, and the paper reports good results with
+//! it. The recursion is expressed iteratively here; termination is
+//! guaranteed because each round removes one edge.
+
+use std::collections::HashSet;
+
+use astra_graph::dijkstra::{shortest_path, ShortestPath};
+use astra_graph::{DiGraph, EdgeId, NodeId};
+
+/// Outcome of Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alg1Solution {
+    /// The path found.
+    pub path: ShortestPath,
+    /// Its accumulated constraint metric.
+    pub constraint: f64,
+    /// How many edges were removed before a feasible path emerged.
+    pub edges_removed: usize,
+}
+
+/// Run Algorithm 1: minimize `weight` subject to the path-sum of
+/// `constraint_metric` staying **below** `bound` (the paper's line 6 tests
+/// `cost >= budget`, i.e. the bound itself is infeasible; pass a slightly
+/// inflated bound for `<=` semantics — [`crate::solver`] does).
+///
+/// Returns `None` if edge removal exhausts every path.
+pub fn algorithm1<N, E>(
+    g: &DiGraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    bound: f64,
+    weight: impl FnMut(EdgeId, &E) -> f64,
+    constraint_metric: impl FnMut(EdgeId, &E) -> f64,
+) -> Option<Alg1Solution> {
+    algorithm1_capped(g, source, target, bound, usize::MAX, weight, constraint_metric)
+}
+
+/// [`algorithm1`] with a cap on edge removals. The paper's recursion can
+/// degenerate on large DAGs with tight bounds — each round removes one
+/// edge and re-runs Dijkstra, and nothing stops it short of exhausting
+/// the edge set (observed: minutes on the 157k-edge Sort DAG before
+/// giving up). Production callers bound it; the `alg1_vs_exact` ablation
+/// measures both the cap hit rate and the optimality gap.
+pub fn algorithm1_capped<N, E>(
+    g: &DiGraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    bound: f64,
+    max_removals: usize,
+    mut weight: impl FnMut(EdgeId, &E) -> f64,
+    mut constraint_metric: impl FnMut(EdgeId, &E) -> f64,
+) -> Option<Alg1Solution> {
+    let mut removed: HashSet<EdgeId> = HashSet::new();
+    loop {
+        if removed.len() > max_removals {
+            return None;
+        }
+        let path = shortest_path(
+            g,
+            source,
+            target,
+            |e, p| weight(e, p),
+            |e| !removed.contains(&e),
+        )?;
+
+        // Walk the path, accumulating the constraint (Algorithm 1 lines
+        // 4–10).
+        let mut acc = 0.0;
+        let mut offender = None;
+        for &e in &path.edges {
+            acc += constraint_metric(e, g.edge(e));
+            if acc >= bound {
+                offender = Some(e);
+                break;
+            }
+        }
+        match offender {
+            None => {
+                return Some(Alg1Solution {
+                    constraint: acc,
+                    path,
+                    edges_removed: removed.len(),
+                });
+            }
+            Some(e) => {
+                removed.insert(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type G = DiGraph<(), (f64, f64)>;
+
+    fn w(_: EdgeId, e: &(f64, f64)) -> f64 {
+        e.0
+    }
+    fn c(_: EdgeId, e: &(f64, f64)) -> f64 {
+        e.1
+    }
+
+    #[test]
+    fn unconstrained_matches_dijkstra() {
+        let mut g: G = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, (1.0, 1.0));
+        g.add_edge(a, t, (1.0, 1.0));
+        g.add_edge(s, t, (5.0, 0.5));
+        let sol = algorithm1(&g, s, t, f64::INFINITY, w, c).unwrap();
+        assert_eq!(sol.path.weight, 2.0);
+        assert_eq!(sol.constraint, 2.0);
+        assert_eq!(sol.edges_removed, 0);
+    }
+
+    #[test]
+    fn reroutes_when_cheapest_violates() {
+        let mut g: G = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        // Fast path, constraint 10.
+        g.add_edge(s, a, (1.0, 5.0));
+        g.add_edge(a, t, (1.0, 5.0));
+        // Slow path, constraint 2.
+        g.add_edge(s, b, (3.0, 1.0));
+        g.add_edge(b, t, (3.0, 1.0));
+        let sol = algorithm1(&g, s, t, 4.0, w, c).unwrap();
+        assert_eq!(sol.path.weight, 6.0);
+        assert_eq!(sol.constraint, 2.0);
+        assert!(sol.edges_removed >= 1);
+    }
+
+    #[test]
+    fn bound_itself_counts_as_violation() {
+        // Paper line 6: `cost >= budget` trips, so a path hitting exactly
+        // the bound is rejected.
+        let mut g: G = DiGraph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, t, (1.0, 4.0));
+        assert!(algorithm1(&g, s, t, 4.0, w, c).is_none());
+        assert!(algorithm1(&g, s, t, 4.0 + 1e-9, w, c).is_some());
+    }
+
+    #[test]
+    fn infeasible_graph_returns_none() {
+        let mut g: G = DiGraph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, t, (1.0, 100.0));
+        g.add_edge(s, t, (2.0, 50.0));
+        assert!(algorithm1(&g, s, t, 10.0, w, c).is_none());
+    }
+
+    #[test]
+    fn terminates_on_dense_graph() {
+        // A layered graph with many infeasible fast paths: the loop must
+        // strip them all and settle on the feasible slow one.
+        let mut g: G = DiGraph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        let mids: Vec<_> = (0..20).map(|_| g.add_node(())).collect();
+        for (idx, &m) in mids.iter().enumerate() {
+            let fast = 1.0 + idx as f64 * 0.01;
+            g.add_edge(s, m, (fast, 10.0));
+            g.add_edge(m, t, (fast, 10.0));
+        }
+        let slow = g.add_node(());
+        g.add_edge(s, slow, (50.0, 0.1));
+        g.add_edge(slow, t, (50.0, 0.1));
+        let sol = algorithm1(&g, s, t, 5.0, w, c).unwrap();
+        assert_eq!(sol.path.weight, 100.0);
+        // One removal per infeasible path prefix tried.
+        assert!(sol.edges_removed >= 20);
+    }
+}

@@ -1,0 +1,295 @@
+//! The user-facing planner: job in, optimal execution plan out.
+
+use astra_model::{Infeasibility, JobSpec, Platform};
+use astra_pricing::PriceCatalog;
+
+use crate::dag::PlannerDag;
+use crate::objective::Objective;
+use crate::plan::Plan;
+use crate::solver::{solve_exhaustive, solve_on_dag, Strategy};
+use crate::space::ConfigSpace;
+
+/// Why planning failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// No configuration satisfies the constraint (budget too small /
+    /// deadline too tight), or the platform cannot run the job at all.
+    NoFeasiblePlan {
+        /// The requirement that could not be met.
+        objective: Objective,
+    },
+    /// The chosen configuration failed re-validation (indicates an
+    /// internal inconsistency; should not happen).
+    Internal(Infeasibility),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoFeasiblePlan { objective } => {
+                write!(f, "no configuration satisfies: {objective}")
+            }
+            PlanError::Internal(i) => write!(f, "internal planner inconsistency: {i}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The Astra planner (paper Sec. V "Design and Implementation"): wraps the
+/// Performance Predictor and Cost Predictor (the analytical models), the
+/// Fig. 5 DAG construction and a solver strategy.
+///
+/// ```
+/// use astra_core::{Astra, Objective};
+/// use astra_model::{JobSpec, WorkloadProfile};
+///
+/// let job = JobSpec::uniform("demo", 10, 2.0, WorkloadProfile::uniform_test());
+/// let astra = Astra::with_defaults();
+/// let plan = astra.plan(&job, Objective::min_time_with_budget_dollars(5.0)).unwrap();
+/// assert!(plan.mappers() >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Astra {
+    platform: Platform,
+    catalog: PriceCatalog,
+    strategy: Strategy,
+}
+
+impl Astra {
+    /// AWS Lambda platform, 2020 prices, exact constrained solver.
+    pub fn with_defaults() -> Self {
+        Astra {
+            platform: Platform::aws_lambda(),
+            catalog: PriceCatalog::aws_2020(),
+            strategy: Strategy::default(),
+        }
+    }
+
+    /// Fully customised planner.
+    pub fn new(platform: Platform, catalog: PriceCatalog, strategy: Strategy) -> Self {
+        Astra {
+            platform,
+            catalog,
+            strategy,
+        }
+    }
+
+    /// The platform this planner targets.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The price catalog in effect.
+    pub fn catalog(&self) -> &PriceCatalog {
+        &self.catalog
+    }
+
+    /// The solver strategy in effect.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Replace the solver strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Plan `job` under `objective` over the full configuration space.
+    pub fn plan(&self, job: &JobSpec, objective: Objective) -> Result<Plan, PlanError> {
+        let space = ConfigSpace::full(job, &self.platform);
+        self.plan_with_space(job, objective, &space)
+    }
+
+    /// Plan over a restricted configuration space (tests, ablations).
+    pub fn plan_with_space(
+        &self,
+        job: &JobSpec,
+        objective: Objective,
+        space: &ConfigSpace,
+    ) -> Result<Plan, PlanError> {
+        let config = match self.strategy {
+            Strategy::Exhaustive => {
+                solve_exhaustive(job, &self.platform, &self.catalog, space, objective)
+            }
+            _ => {
+                let dag = PlannerDag::build(job, &self.platform, &self.catalog, space);
+                solve_on_dag(&dag, objective, self.strategy)
+            }
+        }
+        .ok_or(PlanError::NoFeasiblePlan { objective })?;
+        Plan::evaluate(job, &self.platform, &self.catalog, config.into())
+            .map_err(PlanError::Internal)
+    }
+
+    /// Build (and return) the planner DAG for `job` — exposed for
+    /// inspection, DOT export and the scaling benches.
+    pub fn build_dag(&self, job: &JobSpec, space: &ConfigSpace) -> PlannerDag {
+        PlannerDag::build(job, &self.platform, &self.catalog, space)
+    }
+
+    /// Walk the cost–performance Pareto frontier: plan under `points`
+    /// evenly spaced budgets between the cheapest and the fastest plans'
+    /// costs, returning the distinct plans in increasing-budget order.
+    ///
+    /// This is the "navigate the tradeoff between performance and cost"
+    /// knob the paper's abstract promises, as one call. Plans are
+    /// deduplicated (consecutive budgets often buy the same plan); the
+    /// first element is the cheapest plan, the last the fastest.
+    pub fn pareto_frontier(&self, job: &JobSpec, points: usize) -> Result<Vec<Plan>, PlanError> {
+        assert!(points >= 2, "a frontier needs at least its endpoints");
+        let space = ConfigSpace::full(job, &self.platform);
+        let dag = self.build_dag(job, &space);
+        let cheapest = solve_on_dag(&dag, Objective::cheapest(), self.strategy)
+            .ok_or(PlanError::NoFeasiblePlan {
+                objective: Objective::cheapest(),
+            })?;
+        let fastest = solve_on_dag(&dag, Objective::fastest(), self.strategy)
+            .ok_or(PlanError::NoFeasiblePlan {
+                objective: Objective::fastest(),
+            })?;
+        let lo = Plan::evaluate(job, &self.platform, &self.catalog, cheapest.into())
+            .map_err(PlanError::Internal)?;
+        let hi = Plan::evaluate(job, &self.platform, &self.catalog, fastest.into())
+            .map_err(PlanError::Internal)?;
+        let (lo_c, hi_c) = (lo.predicted_cost().nanos(), hi.predicted_cost().nanos());
+
+        let mut frontier: Vec<Plan> = vec![lo];
+        for step in 1..points {
+            let budget = astra_pricing::Money::from_nanos(
+                lo_c + (hi_c - lo_c) * step as i128 / (points - 1) as i128,
+            );
+            let objective = Objective::MinimizeTime { budget };
+            if let Some(config) = solve_on_dag(&dag, objective, self.strategy) {
+                let plan = Plan::evaluate(job, &self.platform, &self.catalog, config.into())
+                    .map_err(PlanError::Internal)?;
+                if frontier.last().map(|p| p.spec != plan.spec).unwrap_or(true) {
+                    frontier.push(plan);
+                }
+            }
+        }
+        Ok(frontier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_model::WorkloadProfile;
+    use astra_pricing::Money;
+
+    fn small_astra() -> Astra {
+        Astra::new(
+            Platform::paper_literal(10.0),
+            PriceCatalog::aws_2020(),
+            Strategy::ExactCsp,
+        )
+    }
+
+    fn job() -> JobSpec {
+        JobSpec::uniform("t", 10, 1.0, WorkloadProfile::uniform_test())
+    }
+
+    #[test]
+    fn plans_respect_the_budget() {
+        let astra = small_astra();
+        let job = job();
+        let space = ConfigSpace::with_tiers(&job, astra.platform(), &[128, 512, 3008]);
+        let cheapest = astra
+            .plan_with_space(&job, Objective::cheapest(), &space)
+            .unwrap();
+        let budget = cheapest.predicted_cost().scale(1.3);
+        let plan = astra
+            .plan_with_space(&job, Objective::MinimizeTime { budget }, &space)
+            .unwrap();
+        assert!(plan.predicted_cost() <= budget);
+        // Spending more can only speed things up.
+        assert!(plan.predicted_jct_s() <= cheapest.predicted_jct_s() + 1e-9);
+    }
+
+    #[test]
+    fn plans_respect_the_deadline() {
+        let astra = small_astra();
+        let job = job();
+        let space = ConfigSpace::with_tiers(&job, astra.platform(), &[128, 512, 3008]);
+        let fastest = astra
+            .plan_with_space(&job, Objective::fastest(), &space)
+            .unwrap();
+        let deadline = fastest.predicted_jct_s() * 1.5;
+        let plan = astra
+            .plan_with_space(&job, Objective::min_cost_with_deadline_s(deadline), &space)
+            .unwrap();
+        assert!(plan.predicted_jct_s() <= deadline + 1e-9);
+        assert!(plan.predicted_cost() <= fastest.predicted_cost());
+    }
+
+    #[test]
+    fn hopeless_budget_is_reported() {
+        let astra = small_astra();
+        let job = job();
+        let space = ConfigSpace::with_tiers(&job, astra.platform(), &[128]);
+        let err = astra
+            .plan_with_space(
+                &job,
+                Objective::MinimizeTime {
+                    budget: Money::from_nanos(1),
+                },
+                &space,
+            )
+            .unwrap_err();
+        assert!(matches!(err, PlanError::NoFeasiblePlan { .. }));
+        assert!(err.to_string().contains("no configuration"));
+    }
+
+    #[test]
+    fn exhaustive_strategy_agrees_with_dag() {
+        let astra = small_astra();
+        let job = job();
+        let space = ConfigSpace::with_tiers(&job, astra.platform(), &[128, 1024]);
+        let fastest = astra
+            .plan_with_space(&job, Objective::fastest(), &space)
+            .unwrap();
+        let deadline = fastest.predicted_jct_s() * 2.0;
+        let objective = Objective::min_cost_with_deadline_s(deadline);
+        let dag_plan = astra.plan_with_space(&job, objective, &space).unwrap();
+        let ex_plan = astra
+            .clone()
+            .with_strategy(Strategy::Exhaustive)
+            .plan_with_space(&job, objective, &space)
+            .unwrap();
+        assert_eq!(dag_plan.predicted_cost(), ex_plan.predicted_cost());
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone() {
+        let astra = Astra::with_defaults();
+        let job = job();
+        let frontier = astra.pareto_frontier(&job, 8).unwrap();
+        assert!(frontier.len() >= 2);
+        for pair in frontier.windows(2) {
+            assert!(pair[1].predicted_cost() >= pair[0].predicted_cost());
+            assert!(pair[1].predicted_jct_s() <= pair[0].predicted_jct_s() + 1e-9);
+        }
+        // Endpoints: first is the cheapest plan, last is the fastest.
+        let cheapest = astra.plan(&job, Objective::cheapest()).unwrap();
+        let fastest = astra.plan(&job, Objective::fastest()).unwrap();
+        assert_eq!(frontier[0].predicted_cost(), cheapest.predicted_cost());
+        assert!(
+            (frontier.last().unwrap().predicted_jct_s() - fastest.predicted_jct_s()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn default_planner_plans_a_real_scale_job() {
+        // Full 46-tier space on a 10-object job: exercises the real DAG
+        // size for small N.
+        let astra = Astra::with_defaults();
+        let job = job();
+        let plan = astra
+            .plan(&job, Objective::min_time_with_budget_dollars(10.0))
+            .unwrap();
+        assert!(plan.mappers() >= 1 && plan.mappers() <= 10);
+        assert!(plan.reduce_steps() >= 1);
+    }
+}

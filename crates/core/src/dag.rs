@@ -1,0 +1,524 @@
+//! The Fig. 5 planner DAG.
+//!
+//! Six node columns between a source and a sink:
+//!
+//! ```text
+//! S -> mapper mem (x_i) -> k_M (n_j) -> (k_M,k_R) -> (k_M,k_R,coord mem) -> reducer mem (z_s) -> D
+//! ```
+//!
+//! The paper draws column 3 as "number of objects per reducer" and
+//! column 4 as "coordinator memory", but the edge weights it assigns to
+//! the later edge sets depend on *earlier* columns' choices (e.g. the
+//! reducing-phase compute time needs `j` and `k_R` as well as `z_s`). To
+//! make every edge weight well-defined from its endpoints alone — the
+//! property shortest-path optimality needs — columns 3 and 4 are
+//! state-expanded: a column-3 node is a `(k_M, k_R)` pair and a column-4
+//! node additionally carries the coordinator tier. Column 2 stays `k_M`
+//! (not `j`): distinct `k_M` with equal `j` differ in skew, so `k_M` is
+//! the real decision variable.
+//!
+//! Every edge carries **both** metrics (time and cost), assigned so that
+//! each term of Eq. 16 and Eq. 20 lands on exactly one edge:
+//!
+//! | Edge set | time | cost |
+//! |---|---|---|
+//! | `x_i -> k_M` | `T1` (Eq. 4) | `U1 + V1 + W1` |
+//! | `k_M -> (k_M,k_R)` | 0 | `U2 + UP + I2 + I3` |
+//! | `(k_M,k_R) -> +coord` | `T2 = c2 + P·l/B(a)` (Eq. 6) | `V2` |
+//! | `+coord -> z_s` | reduce phase `T_P(s)` (Eq. 9) | `VP + WP + W2-runtime` |
+//!
+//! Summing either metric over a path reproduces the analytical model for
+//! that configuration exactly (integration tests assert this), so an
+//! unconstrained shortest path is the true model optimum and a constrained
+//! shortest path solves the paper's Eq. 16–19 / Eq. 20–22.
+//!
+//! Edges whose configuration violates platform constraints (Eq. 18
+//! concurrency/storage caps, per-function timeout) are simply not added.
+
+use std::collections::HashMap;
+
+use astra_graph::{DiGraph, EdgeId, NodeId};
+use astra_model::cost::{
+    coordinator_storage_cost, mapper_edge_cost, orchestration_requests_cost, reduce_edge_cost,
+    runtime_cost,
+};
+use astra_model::perf::{
+    coordinator_compute_secs, coordinator_state_put_secs, mapper_phase, reduce_structure,
+    reduce_tier_times,
+};
+use astra_model::schedule::total_input_mb;
+use astra_model::{JobConfig, JobSpec, Platform};
+use astra_pricing::{Money, PriceCatalog};
+
+use crate::space::ConfigSpace;
+
+/// What a DAG node decides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Choice {
+    /// Flow source (`S̄`).
+    Source,
+    /// Column 1: mapper memory tier.
+    MapperMem(u32),
+    /// Column 2: objects per mapper (`k_M`).
+    ObjectsPerMapper(usize),
+    /// Column 3: objects per reducer, in the context of a `k_M`.
+    ObjectsPerReducer {
+        /// The column-2 choice this node extends.
+        k_m: usize,
+        /// Objects per reducer (`k_R`).
+        k_r: usize,
+    },
+    /// Column 4: coordinator memory tier, in the context of `(k_M, k_R)`.
+    CoordinatorMem {
+        /// The column-2 choice.
+        k_m: usize,
+        /// The column-3 choice.
+        k_r: usize,
+        /// Coordinator memory (MB).
+        mem: u32,
+    },
+    /// Column 5: reducer memory tier.
+    ReducerMem(u32),
+    /// Flow destination (`D̄`).
+    Sink,
+}
+
+/// Both path metrics of one edge. Cost is stored as `i64` nano-dollars to
+/// keep the edge arena compact (a whole job bill fits with 9 decimal
+/// digits of headroom).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeMetrics {
+    /// Completion-time contribution in seconds.
+    pub time_s: f64,
+    /// Cost contribution in nano-dollars.
+    pub cost_nanos: i64,
+}
+
+impl EdgeMetrics {
+    /// Cost as [`Money`].
+    pub fn cost(&self) -> Money {
+        Money::from_nanos(self.cost_nanos as i128)
+    }
+}
+
+fn metrics(time_s: f64, cost: Money) -> EdgeMetrics {
+    let nanos = cost.nanos();
+    debug_assert!(nanos >= 0 && nanos <= i64::MAX as i128, "cost out of range");
+    EdgeMetrics {
+        time_s,
+        cost_nanos: nanos as i64,
+    }
+}
+
+/// The built planner DAG for one job.
+pub struct PlannerDag {
+    graph: DiGraph<Choice, EdgeMetrics>,
+    source: NodeId,
+    sink: NodeId,
+}
+
+impl PlannerDag {
+    /// Construct the DAG for `job` over `space`, pricing with `catalog`.
+    pub fn build(
+        job: &JobSpec,
+        platform: &Platform,
+        catalog: &PriceCatalog,
+        space: &ConfigSpace,
+    ) -> PlannerDag {
+        job.profile.validate();
+        let n = job.num_objects();
+        let tiers = &space.memory_tiers_mb;
+        let mut g: DiGraph<Choice, EdgeMetrics> = DiGraph::new();
+        let source = g.add_node(Choice::Source);
+        let sink = g.add_node(Choice::Sink);
+
+        // Column 1 (mapper memory) and column 5 (reducer memory) are
+        // shared across all partitioning choices.
+        let col1: Vec<NodeId> = tiers
+            .iter()
+            .map(|&m| {
+                let id = g.add_node(Choice::MapperMem(m));
+                g.add_edge(source, id, metrics(0.0, Money::ZERO));
+                id
+            })
+            .collect();
+        let col5: Vec<NodeId> = tiers
+            .iter()
+            .map(|&m| {
+                let id = g.add_node(Choice::ReducerMem(m));
+                g.add_edge(id, sink, metrics(0.0, Money::ZERO));
+                id
+            })
+            .collect();
+
+        // Coordinator planning compute depends only on its tier.
+        let coord_compute: Vec<f64> = tiers
+            .iter()
+            .map(|&a| coordinator_compute_secs(job.shuffle_mb(), platform, &job.profile, a))
+            .collect();
+
+        let mut col2: HashMap<usize, NodeId> = HashMap::new();
+        for &k_m in &space.k_m_values {
+            let j = n.div_ceil(k_m);
+            if j.max(2) > platform.max_concurrency as usize {
+                continue; // Eq. 18: j <= R
+            }
+
+            let mut k_m_node: Option<NodeId> = None;
+            for (ti, &i_mem) in tiers.iter().enumerate() {
+                // Computed exactly as the analytical model does, so that a
+                // path's metrics match `astra_model::evaluate` bit for bit.
+                let phase = mapper_phase(job, platform, i_mem, k_m);
+                if phase.duration_s > platform.timeout_s {
+                    continue; // this tier is too slow for this k_M
+                }
+                let cost = mapper_edge_cost(job, &phase, i_mem, platform, catalog);
+                let node = *k_m_node
+                    .get_or_insert_with(|| g.add_node(Choice::ObjectsPerMapper(k_m)));
+                g.add_edge(col1[ti], node, metrics(phase.duration_s, cost));
+            }
+            if let Some(node) = k_m_node {
+                col2.insert(k_m, node);
+            }
+        }
+
+        // Columns 3 and 4 plus the heavy final edge set.
+        for (&k_m, &k_m_node) in &col2 {
+            let j = n.div_ceil(k_m);
+            let outputs = mapper_outputs(job, k_m);
+            for k_r in space.k_r_candidates(j) {
+                let structure = reduce_structure(&outputs, k_r, &job.profile, platform);
+                // Eq. 18 storage cap: D + S(state) + Q <= O.
+                let state_mb = job.profile.state_object_mb * structure.num_steps() as f64;
+                if job.total_mb() + state_mb + total_input_mb(&structure.steps)
+                    > platform.max_storage_mb
+                {
+                    continue;
+                }
+                // Concurrency: widest reduce step + the waiting coordinator.
+                let widest = structure
+                    .steps
+                    .iter()
+                    .map(|s| s.reducers())
+                    .max()
+                    .unwrap_or(0);
+                if widest + 1 > platform.max_concurrency as usize {
+                    continue;
+                }
+
+                let col3_node = g.add_node(Choice::ObjectsPerReducer { k_m, k_r });
+                let e2_cost = orchestration_requests_cost(&structure, platform, catalog);
+                g.add_edge(k_m_node, col3_node, metrics(0.0, e2_cost));
+
+                // Per reducer tier: full reducer lifetimes, phase span,
+                // reducer bills — all independent of the coordinator tier.
+                struct PerTier {
+                    phase_s: f64,
+                    wait_before_last_s: f64,
+                    edge_cost_excl_coord: Money,
+                    feasible: bool,
+                }
+                let per_tier: Vec<PerTier> = tiers
+                    .iter()
+                    .map(|&s_mem| {
+                        let times =
+                            reduce_tier_times(&structure, platform, &job.profile, s_mem);
+                        let feasible = times
+                            .per_reducer_s
+                            .iter()
+                            .flatten()
+                            .all(|&t| t <= platform.timeout_s);
+                        let wait_before_last: f64 = times.per_step_max_s
+                            [..times.per_step_max_s.len() - 1]
+                            .iter()
+                            .sum();
+                        // reduce_edge_cost with a zero-duration coordinator
+                        // gives the coordinator-independent part.
+                        let cost_excl = reduce_edge_cost(
+                            job,
+                            &structure,
+                            &times,
+                            s_mem,
+                            tiers[0],
+                            0.0,
+                            platform,
+                            catalog,
+                        );
+                        PerTier {
+                            phase_s: times.duration_s(),
+                            wait_before_last_s: wait_before_last,
+                            edge_cost_excl_coord: cost_excl,
+                            feasible,
+                        }
+                    })
+                    .collect();
+
+                for (ai, &a_mem) in tiers.iter().enumerate() {
+                    let state_put_s = coordinator_state_put_secs(
+                        structure.num_steps(),
+                        platform,
+                        &job.profile,
+                        a_mem,
+                    );
+                    let t2_s = coord_compute[ai] + state_put_s;
+                    let col4_node = g.add_node(Choice::CoordinatorMem {
+                        k_m,
+                        k_r,
+                        mem: a_mem,
+                    });
+                    let e3_cost = coordinator_storage_cost(job, &structure, t2_s, platform, catalog);
+                    g.add_edge(col3_node, col4_node, metrics(t2_s, e3_cost));
+
+                    let last_spawn_s = *structure
+                        .per_step_spawn_s
+                        .last()
+                        .expect("at least one step");
+                    for (si, tier) in per_tier.iter().enumerate() {
+                        if !tier.feasible {
+                            continue;
+                        }
+                        // The coordinator waits through the first P-1
+                        // steps and pays the final step's launch latency
+                        // before exiting (PerfBreakdown::coordinator_billed_s).
+                        let coord_billed_s = t2_s + tier.wait_before_last_s + last_spawn_s;
+                        if coord_billed_s > platform.timeout_s {
+                            continue;
+                        }
+                        let coord_cost =
+                            runtime_cost(coord_billed_s, a_mem, &catalog.lambda);
+                        let e4_cost = tier.edge_cost_excl_coord + coord_cost;
+                        g.add_edge(
+                            col4_node,
+                            col5[si],
+                            metrics(tier.phase_s, e4_cost),
+                        );
+                    }
+                }
+            }
+        }
+
+        PlannerDag {
+            graph: g,
+            source,
+            sink,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph<Choice, EdgeMetrics> {
+        &self.graph
+    }
+
+    /// Source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Sink node.
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// Recover the configuration a source→sink path encodes.
+    ///
+    /// Panics if the path does not visit one node of every column (which
+    /// cannot happen for paths produced by the solvers on a built DAG).
+    pub fn config_for_path(&self, edges: &[EdgeId]) -> JobConfig {
+        let mut mapper_mem = None;
+        let mut coord = None;
+        let mut reducer_mem = None;
+        let mut k_m = None;
+        let mut k_r = None;
+        for &e in edges {
+            let (_, to) = self.graph.endpoints(e);
+            match *self.graph.node(to) {
+                Choice::MapperMem(m) => mapper_mem = Some(m),
+                Choice::ObjectsPerMapper(k) => k_m = Some(k),
+                Choice::ObjectsPerReducer { k_r: k, .. } => k_r = Some(k),
+                Choice::CoordinatorMem { mem, .. } => coord = Some(mem),
+                Choice::ReducerMem(m) => reducer_mem = Some(m),
+                Choice::Source | Choice::Sink => {}
+            }
+        }
+        JobConfig {
+            mapper_mem_mb: mapper_mem.expect("path misses mapper memory"),
+            coordinator_mem_mb: coord.expect("path misses coordinator memory"),
+            reducer_mem_mb: reducer_mem.expect("path misses reducer memory"),
+            objects_per_mapper: k_m.expect("path misses k_M"),
+            objects_per_reducer: k_r.expect("path misses k_R"),
+        }
+    }
+
+    /// Total time metric along a path.
+    pub fn path_time_s(&self, edges: &[EdgeId]) -> f64 {
+        edges.iter().map(|&e| self.graph.edge(e).time_s).sum()
+    }
+
+    /// Total cost metric along a path.
+    pub fn path_cost(&self, edges: &[EdgeId]) -> Money {
+        Money::from_nanos(
+            edges
+                .iter()
+                .map(|&e| self.graph.edge(e).cost_nanos as i128)
+                .sum(),
+        )
+    }
+}
+
+/// Per-mapper input sizes for `k_M` (consecutive greedy assignment).
+fn mapper_inputs(job: &JobSpec, k_m: usize) -> Vec<f64> {
+    astra_model::distribute::distribute_sizes(&job.object_sizes_mb, k_m)
+        .into_iter()
+        .map(|objs| objs.iter().sum())
+        .collect()
+}
+
+/// Mapper output sizes for `k_M`.
+fn mapper_outputs(job: &JobSpec, k_m: usize) -> Vec<f64> {
+    mapper_inputs(job, k_m)
+        .into_iter()
+        .map(|d| d * job.profile.shuffle_ratio)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_graph::dijkstra::shortest_path_all;
+    use astra_model::{evaluate, WorkloadProfile};
+
+    fn job(n: usize) -> JobSpec {
+        JobSpec::uniform("t", n, 1.0, WorkloadProfile::uniform_test())
+    }
+
+    fn build(n: usize, tiers: &[u32]) -> (JobSpec, Platform, PriceCatalog, PlannerDag) {
+        let j = job(n);
+        let platform = Platform::paper_literal(10.0);
+        let catalog = PriceCatalog::aws_2020();
+        let space = ConfigSpace::with_tiers(&j, &platform, tiers);
+        let dag = PlannerDag::build(&j, &platform, &catalog, &space);
+        (j, platform, catalog, dag)
+    }
+
+    #[test]
+    fn dag_is_acyclic_and_connected() {
+        let (_, _, _, dag) = build(6, &[128, 1024]);
+        assert!(dag.graph().is_dag());
+        let p = shortest_path_all(dag.graph(), dag.source(), dag.sink(), |_, m| m.time_s);
+        assert!(p.is_some());
+    }
+
+    #[test]
+    fn every_path_metric_matches_model_exactly() {
+        // The load-bearing property: path sums == model evaluation —
+        // checked on both the idealised platform and the full AWS one
+        // (cold-start-free model, but spawn overheads, efficiency curve
+        // and bandwidth scaling all active).
+        for platform in [
+            Platform::paper_literal(10.0),
+            Platform::aws_lambda(),
+            Platform::aws_lambda().with_elasticache(),
+        ] {
+            let j = job(6);
+            let catalog = PriceCatalog::aws_2020();
+            let space = ConfigSpace::with_tiers(&j, &platform, &[128, 512, 3008]);
+            let dag = PlannerDag::build(&j, &platform, &catalog, &space);
+            // Probe several paths by minimizing different mixes.
+            for lambda in [0.0, 0.3, 0.7, 1.0] {
+                let p = shortest_path_all(dag.graph(), dag.source(), dag.sink(), |_, m| {
+                    lambda * m.time_s + (1.0 - lambda) * (m.cost_nanos as f64) * 1e-6
+                })
+                .unwrap();
+                let config = dag.config_for_path(&p.edges);
+                let ev = evaluate(&j, &platform, &config, &catalog).unwrap();
+                let dt = (dag.path_time_s(&p.edges) - ev.jct_s()).abs();
+                assert!(dt < 1e-9, "time mismatch {dt} for {config:?}");
+                assert_eq!(
+                    dag.path_cost(&p.edges),
+                    ev.total_cost(),
+                    "cost mismatch for {config:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_shortest_time_path_beats_every_config() {
+        let (j, platform, catalog, dag) = build(5, &[128, 1024]);
+        let p = shortest_path_all(dag.graph(), dag.source(), dag.sink(), |_, m| m.time_s).unwrap();
+        let best_time = dag.path_time_s(&p.edges);
+        let space = ConfigSpace::with_tiers(&j, &platform, &[128, 1024]);
+        for config in space.iter_configs(&j) {
+            if let Ok(ev) = evaluate(&j, &platform, &config, &catalog) {
+                assert!(
+                    best_time <= ev.jct_s() + 1e-9,
+                    "config {config:?} is faster: {} < {best_time}",
+                    ev.jct_s()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_cheapest_path_beats_every_config() {
+        let (j, platform, catalog, dag) = build(5, &[128, 1024]);
+        let p = shortest_path_all(dag.graph(), dag.source(), dag.sink(), |_, m| {
+            m.cost_nanos as f64
+        })
+        .unwrap();
+        let best = dag.path_cost(&p.edges);
+        let space = ConfigSpace::with_tiers(&j, &platform, &[128, 1024]);
+        for config in space.iter_configs(&j) {
+            if let Ok(ev) = evaluate(&j, &platform, &config, &catalog) {
+                assert!(best <= ev.total_cost(), "config {config:?} is cheaper");
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_prunes_slow_tiers() {
+        let j = job(2);
+        let mut platform = Platform::paper_literal(10.0);
+        // 1 mapper x 2 MB at 1 s/MB on 128 MB: ~2.4 s. Timeout below that
+        // kills the 128 MB edges but keeps 1024 MB ones.
+        platform.timeout_s = 1.0;
+        let catalog = PriceCatalog::aws_2020();
+        let space = ConfigSpace::with_tiers(&j, &platform, &[128, 1024]);
+        let dag = PlannerDag::build(&j, &platform, &catalog, &space);
+        let p = shortest_path_all(dag.graph(), dag.source(), dag.sink(), |_, m| m.time_s).unwrap();
+        let config = dag.config_for_path(&p.edges);
+        assert_eq!(config.mapper_mem_mb, 1024);
+    }
+
+    #[test]
+    fn concurrency_cap_prunes_wide_fanouts() {
+        let j = job(10);
+        let mut platform = Platform::paper_literal(10.0);
+        platform.max_concurrency = 4;
+        let catalog = PriceCatalog::aws_2020();
+        let space = ConfigSpace {
+            memory_tiers_mb: vec![128],
+            k_m_values: (1..=10).collect(),
+            k_r_values: (2..=10).collect(),
+        };
+        let dag = PlannerDag::build(&j, &platform, &catalog, &space);
+        // k_M = 1 and 2 (j = 10, 5) must be absent.
+        for id in dag.graph().node_ids() {
+            if let Choice::ObjectsPerMapper(k_m) = dag.graph().node(id) {
+                assert!(*k_m >= 3, "k_M={k_m} should have been pruned");
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_platform_yields_no_path() {
+        let j = job(4);
+        let mut platform = Platform::paper_literal(10.0);
+        platform.timeout_s = 0.001; // nothing fits
+        let catalog = PriceCatalog::aws_2020();
+        let space = ConfigSpace::with_tiers(&j, &platform, &[128]);
+        let dag = PlannerDag::build(&j, &platform, &catalog, &space);
+        let p = shortest_path_all(dag.graph(), dag.source(), dag.sink(), |_, m| m.time_s);
+        assert!(p.is_none());
+    }
+}

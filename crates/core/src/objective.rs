@@ -1,0 +1,94 @@
+//! User requirements: what to optimize and what bounds it.
+
+use astra_pricing::Money;
+use serde::{Deserialize, Serialize};
+
+/// The two flexibly-specified user requirements the paper supports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// "Best possible job performance with a limited budget" — minimize
+    /// completion time subject to total cost ≤ `budget` (Eq. 16–19).
+    MinimizeTime {
+        /// The budget constraint `J`.
+        budget: Money,
+    },
+    /// "Minimize the cost without violating the QoS objective" — minimize
+    /// cost subject to completion time ≤ `deadline_s` (Eq. 20–22).
+    MinimizeCost {
+        /// The QoS threshold `E` in seconds.
+        deadline_s: f64,
+    },
+}
+
+impl Objective {
+    /// Performance optimization under a dollar budget.
+    pub fn min_time_with_budget_dollars(budget: f64) -> Self {
+        Objective::MinimizeTime {
+            budget: Money::from_dollars_f64(budget),
+        }
+    }
+
+    /// Cost minimization under a completion-time threshold in seconds.
+    pub fn min_cost_with_deadline_s(deadline_s: f64) -> Self {
+        assert!(deadline_s > 0.0, "deadline must be positive");
+        Objective::MinimizeCost { deadline_s }
+    }
+
+    /// Unconstrained time minimization (infinite budget).
+    pub fn fastest() -> Self {
+        Objective::MinimizeTime {
+            budget: Money::from_dollars(i128::MAX / astra_pricing::money::NANOS_PER_DOLLAR),
+        }
+    }
+
+    /// Unconstrained cost minimization (infinite deadline).
+    pub fn cheapest() -> Self {
+        Objective::MinimizeCost {
+            deadline_s: f64::INFINITY,
+        }
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Objective::MinimizeTime { budget } => {
+                write!(f, "min time s.t. cost <= {budget}")
+            }
+            Objective::MinimizeCost { deadline_s } => {
+                write!(f, "min cost s.t. time <= {deadline_s:.1}s")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_bounds() {
+        match Objective::min_time_with_budget_dollars(2.5) {
+            Objective::MinimizeTime { budget } => {
+                assert_eq!(budget, Money::from_dollars_f64(2.5));
+            }
+            _ => panic!(),
+        }
+        match Objective::min_cost_with_deadline_s(120.0) {
+            Objective::MinimizeCost { deadline_s } => assert_eq!(deadline_s, 120.0),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn zero_deadline_rejected() {
+        Objective::min_cost_with_deadline_s(0.0);
+    }
+
+    #[test]
+    fn display_mentions_the_bound() {
+        let o = Objective::min_cost_with_deadline_s(60.0);
+        assert!(o.to_string().contains("60.0s"));
+    }
+}

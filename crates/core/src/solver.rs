@@ -1,0 +1,259 @@
+//! Solver strategies over the planner DAG.
+
+use astra_graph::csp::constrained_shortest_path;
+use astra_graph::yen::KShortestPaths;
+use astra_model::{evaluate, JobConfig, JobSpec, Platform};
+use astra_pricing::{Money, PriceCatalog};
+use serde::{Deserialize, Serialize};
+
+use crate::alg1::algorithm1_capped;
+use crate::dag::PlannerDag;
+use crate::objective::Objective;
+use crate::space::ConfigSpace;
+
+/// How to solve the constrained optimization on the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Strategy {
+    /// The paper's Algorithm 1 (Dijkstra + offending-edge removal).
+    Algorithm1,
+    /// Exact Pareto-label constrained shortest path (default).
+    #[default]
+    ExactCsp,
+    /// Yen's k-shortest paths in objective order until one is feasible
+    /// (exact; can enumerate many paths when the bound is tight).
+    PathEnumeration,
+    /// Brute force over the whole configuration space through the
+    /// analytical model. Exponentially large with full tier lists — meant
+    /// for validation on reduced spaces.
+    Exhaustive,
+}
+
+/// Cap on paths examined by [`Strategy::PathEnumeration`] before giving up
+/// (prevents pathological enumeration on infeasible-but-huge DAGs).
+pub const MAX_ENUMERATED_PATHS: usize = 100_000;
+
+/// Cap on Algorithm 1 edge removals (each removal costs one Dijkstra run;
+/// see `alg1::algorithm1_capped`).
+pub const MAX_ALG1_REMOVALS: usize = 500;
+
+/// Extracts one metric from an edge (the objective or the constraint).
+type MetricFn = Box<dyn Fn(&crate::dag::EdgeMetrics) -> f64>;
+
+/// Tiny relative slack added to constraint bounds to make `<=`
+/// comparisons robust to the floating-point noise of summing edge metrics
+/// in a different order than the model does. Kept at 1e-9 so that an
+/// accepted path can overshoot a $1 budget by at most a few nano-dollars.
+const BOUND_EPS: f64 = 1e-9;
+
+/// Solve `objective` on a built DAG. Returns the chosen configuration, or
+/// `None` when no feasible configuration exists.
+pub fn solve_on_dag(dag: &PlannerDag, objective: Objective, strategy: Strategy) -> Option<JobConfig> {
+    let g = dag.graph();
+    let (src, dst) = (dag.source(), dag.sink());
+    // Primary weight and constraint metric per objective. Costs are
+    // converted to micro-dollars so both metrics have comparable scale.
+    let time = |m: &crate::dag::EdgeMetrics| m.time_s;
+    let cost = |m: &crate::dag::EdgeMetrics| m.cost_nanos as f64 * 1e-3; // micro-dollars
+
+    let (bound, primary, secondary): (f64, MetricFn, MetricFn) = match objective {
+            Objective::MinimizeTime { budget } => (
+                budget.nanos() as f64 * 1e-3,
+                Box::new(time),
+                Box::new(cost),
+            ),
+            Objective::MinimizeCost { deadline_s } => {
+                (deadline_s, Box::new(cost), Box::new(time))
+            }
+        };
+
+    let edges = match strategy {
+        Strategy::Algorithm1 => algorithm1_capped(
+            g,
+            src,
+            dst,
+            bound * (1.0 + BOUND_EPS) + BOUND_EPS,
+            MAX_ALG1_REMOVALS,
+            |_, m| primary(m),
+            |_, m| secondary(m),
+        )
+        .map(|sol| sol.path.edges),
+        Strategy::ExactCsp => constrained_shortest_path(
+            g,
+            src,
+            dst,
+            bound * (1.0 + BOUND_EPS) + BOUND_EPS,
+            |_, m| primary(m),
+            |_, m| secondary(m),
+        )
+        .map(|sol| sol.edges),
+        Strategy::PathEnumeration => {
+            let mut ksp = KShortestPaths::new(g, src, dst, |_, m| primary(m));
+            let mut found = None;
+            for _ in 0..MAX_ENUMERATED_PATHS {
+                match ksp.next() {
+                    Some(path) => {
+                        let used: f64 = path.edges.iter().map(|&e| secondary(g.edge(e))).sum();
+                        if used <= bound * (1.0 + BOUND_EPS) + BOUND_EPS {
+                            found = Some(path.edges);
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            found
+        }
+        Strategy::Exhaustive => {
+            unreachable!("Exhaustive does not run on the DAG; use solve_exhaustive")
+        }
+    }?;
+    Some(dag.config_for_path(&edges))
+}
+
+/// Brute-force reference solver: evaluate every configuration in `space`
+/// with the analytical model and pick the constrained optimum.
+pub fn solve_exhaustive(
+    job: &JobSpec,
+    platform: &Platform,
+    catalog: &PriceCatalog,
+    space: &ConfigSpace,
+    objective: Objective,
+) -> Option<JobConfig> {
+    let mut best: Option<(f64, Money, JobConfig)> = None;
+    for config in space.iter_configs(job) {
+        let Ok(ev) = evaluate(job, platform, &config, catalog) else {
+            continue;
+        };
+        let (jct, bill) = (ev.jct_s(), ev.total_cost());
+        let feasible = match objective {
+            Objective::MinimizeTime { budget } => bill <= budget,
+            Objective::MinimizeCost { deadline_s } => jct <= deadline_s,
+        };
+        if !feasible {
+            continue;
+        }
+        let key = match objective {
+            Objective::MinimizeTime { .. } => jct,
+            Objective::MinimizeCost { .. } => bill.nanos() as f64,
+        };
+        let better = match &best {
+            None => true,
+            Some((bk, _, _)) => key < *bk,
+        };
+        if better {
+            best = Some((key, bill, config));
+        }
+    }
+    best.map(|(_, _, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_model::WorkloadProfile;
+
+    fn setup(n: usize, tiers: &[u32]) -> (JobSpec, Platform, PriceCatalog, ConfigSpace, PlannerDag) {
+        let job = JobSpec::uniform("t", n, 1.0, WorkloadProfile::uniform_test());
+        let platform = Platform::paper_literal(10.0);
+        let catalog = PriceCatalog::aws_2020();
+        let space = ConfigSpace::with_tiers(&job, &platform, tiers);
+        let dag = PlannerDag::build(&job, &platform, &catalog, &space);
+        (job, platform, catalog, space, dag)
+    }
+
+    fn eval(
+        job: &JobSpec,
+        platform: &Platform,
+        catalog: &PriceCatalog,
+        c: &JobConfig,
+    ) -> (f64, Money) {
+        let ev = evaluate(job, platform, c, catalog).unwrap();
+        (ev.jct_s(), ev.total_cost())
+    }
+
+    #[test]
+    fn exact_csp_matches_exhaustive_min_time() {
+        let (job, platform, catalog, space, dag) = setup(6, &[128, 512, 3008]);
+        // Budget between the cheapest and the fastest configurations.
+        for budget_frac in [1.1, 1.5, 3.0] {
+            let cheapest = solve_on_dag(&dag, Objective::cheapest(), Strategy::ExactCsp).unwrap();
+            let (_, min_cost) = eval(&job, &platform, &catalog, &cheapest);
+            let budget = min_cost.scale(budget_frac);
+            let objective = Objective::MinimizeTime { budget };
+            let got = solve_on_dag(&dag, objective, Strategy::ExactCsp).unwrap();
+            let want = solve_exhaustive(&job, &platform, &catalog, &space, objective).unwrap();
+            let (gt, gc) = eval(&job, &platform, &catalog, &got);
+            let (wt, _) = eval(&job, &platform, &catalog, &want);
+            assert!((gt - wt).abs() < 1e-9, "time {gt} vs exhaustive {wt}");
+            assert!(gc <= budget, "cost {gc} over budget {budget}");
+        }
+    }
+
+    #[test]
+    fn exact_csp_matches_exhaustive_min_cost() {
+        let (job, platform, catalog, space, dag) = setup(6, &[128, 512, 3008]);
+        let fastest = solve_on_dag(&dag, Objective::fastest(), Strategy::ExactCsp).unwrap();
+        let (min_time, _) = eval(&job, &platform, &catalog, &fastest);
+        for slack in [1.2, 2.0, 5.0] {
+            let objective = Objective::MinimizeCost {
+                deadline_s: min_time * slack,
+            };
+            let got = solve_on_dag(&dag, objective, Strategy::ExactCsp).unwrap();
+            let want = solve_exhaustive(&job, &platform, &catalog, &space, objective).unwrap();
+            let (gt, gc) = eval(&job, &platform, &catalog, &got);
+            let (_, wc) = eval(&job, &platform, &catalog, &want);
+            assert_eq!(gc, wc, "cost mismatch at slack {slack}");
+            assert!(gt <= min_time * slack + 1e-9);
+        }
+    }
+
+    #[test]
+    fn path_enumeration_agrees_with_exact_csp() {
+        let (job, platform, catalog, _, dag) = setup(5, &[128, 1024]);
+        let cheapest = solve_on_dag(&dag, Objective::cheapest(), Strategy::ExactCsp).unwrap();
+        let (_, min_cost) = eval(&job, &platform, &catalog, &cheapest);
+        let objective = Objective::MinimizeTime {
+            budget: min_cost.scale(1.5),
+        };
+        let a = solve_on_dag(&dag, objective, Strategy::ExactCsp).unwrap();
+        let b = solve_on_dag(&dag, objective, Strategy::PathEnumeration).unwrap();
+        let (ta, _) = eval(&job, &platform, &catalog, &a);
+        let (tb, _) = eval(&job, &platform, &catalog, &b);
+        assert!((ta - tb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn algorithm1_finds_a_feasible_plan() {
+        let (job, platform, catalog, _, dag) = setup(6, &[128, 512, 3008]);
+        let cheapest = solve_on_dag(&dag, Objective::cheapest(), Strategy::ExactCsp).unwrap();
+        let (_, min_cost) = eval(&job, &platform, &catalog, &cheapest);
+        let budget = min_cost.scale(1.5);
+        let objective = Objective::MinimizeTime { budget };
+        let got = solve_on_dag(&dag, objective, Strategy::Algorithm1).unwrap();
+        let (_, gc) = eval(&job, &platform, &catalog, &got);
+        assert!(gc <= budget);
+        // And it can never beat the exact optimum.
+        let exact = solve_on_dag(&dag, objective, Strategy::ExactCsp).unwrap();
+        let (te, _) = eval(&job, &platform, &catalog, &exact);
+        let (tg, _) = eval(&job, &platform, &catalog, &got);
+        assert!(tg >= te - 1e-9);
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let (_, _, _, _, dag) = setup(4, &[128]);
+        let objective = Objective::MinimizeTime {
+            budget: Money::from_nanos(1),
+        };
+        for strategy in [Strategy::Algorithm1, Strategy::ExactCsp, Strategy::PathEnumeration] {
+            assert!(solve_on_dag(&dag, objective, strategy).is_none(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn unconstrained_solutions_exist() {
+        let (_, _, _, _, dag) = setup(4, &[128, 1024]);
+        assert!(solve_on_dag(&dag, Objective::fastest(), Strategy::ExactCsp).is_some());
+        assert!(solve_on_dag(&dag, Objective::cheapest(), Strategy::ExactCsp).is_some());
+    }
+}

@@ -1,0 +1,164 @@
+//! The configuration space the planner searches.
+
+use astra_model::{JobConfig, JobSpec, Platform};
+use serde::{Deserialize, Serialize};
+
+/// Enumerable bounds of the search: which memory tiers and which
+/// partitioning values to consider.
+///
+/// The full space for a job with `N` objects is `L³ × N × N` points
+/// (three independent memory choices, `k_M`, `k_R`); the DAG encoding
+/// never materialises it, but the exhaustive validator does, so tests use
+/// [`ConfigSpace::with_tiers`] to shrink `L`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    /// Candidate memory tiers (MB) for all three roles.
+    pub memory_tiers_mb: Vec<u32>,
+    /// Candidate objects-per-mapper values (`k_M`).
+    pub k_m_values: Vec<usize>,
+    /// Candidate objects-per-reducer values (`k_R`); values above the
+    /// mapper count `j` collapse to `j` (single-step reduce) and are
+    /// deduplicated per `k_M`.
+    pub k_r_values: Vec<usize>,
+}
+
+impl ConfigSpace {
+    /// The complete space for `job` on `platform`: every tier, every
+    /// `k_M` producing at most `max_concurrency` mappers, every `k_R`.
+    pub fn full(job: &JobSpec, platform: &Platform) -> Self {
+        let n = job.num_objects();
+        let min_k_m = n.div_ceil(platform.max_concurrency as usize).max(1);
+        ConfigSpace {
+            memory_tiers_mb: platform.memory_tiers_mb.clone(),
+            k_m_values: (min_k_m..=n).collect(),
+            k_r_values: (2..=n.max(2)).collect(),
+        }
+    }
+
+    /// Same partitioning range but a restricted tier list (for tests and
+    /// ablations).
+    pub fn with_tiers(job: &JobSpec, platform: &Platform, tiers: &[u32]) -> Self {
+        ConfigSpace {
+            memory_tiers_mb: tiers.to_vec(),
+            ..Self::full(job, platform)
+        }
+    }
+
+    /// The `k_R` candidates that are meaningfully distinct for `j` mapper
+    /// outputs: values in `2..=j`, plus `j` itself if every candidate
+    /// exceeds it (all `k_R >= j` give the same single-step schedule).
+    pub fn k_r_candidates(&self, j: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .k_r_values
+            .iter()
+            .copied()
+            .map(|k| k.min(j.max(2)))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Every configuration in the space (deduplicated `k_R` per `k_M`).
+    pub fn iter_configs<'a>(&'a self, job: &'a JobSpec) -> impl Iterator<Item = JobConfig> + 'a {
+        let n = job.num_objects();
+        self.k_m_values.iter().flat_map(move |&k_m| {
+            let j = n.div_ceil(k_m);
+            let k_rs = self.k_r_candidates(j);
+            let tiers = &self.memory_tiers_mb;
+            k_rs.into_iter().flat_map(move |k_r| {
+                tiers.iter().flat_map(move |&i| {
+                    tiers.iter().flat_map(move |&a| {
+                        tiers.iter().map(move |&s| JobConfig {
+                            mapper_mem_mb: i,
+                            coordinator_mem_mb: a,
+                            reducer_mem_mb: s,
+                            objects_per_mapper: k_m,
+                            objects_per_reducer: k_r,
+                        })
+                    })
+                })
+            })
+        })
+    }
+
+    /// Number of configurations [`iter_configs`](Self::iter_configs)
+    /// yields.
+    pub fn size(&self, job: &JobSpec) -> usize {
+        let n = job.num_objects();
+        let tiers = self.memory_tiers_mb.len();
+        self.k_m_values
+            .iter()
+            .map(|&k_m| self.k_r_candidates(n.div_ceil(k_m)).len())
+            .sum::<usize>()
+            * tiers
+            * tiers
+            * tiers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_model::WorkloadProfile;
+
+    fn job(n: usize) -> JobSpec {
+        JobSpec::uniform("t", n, 1.0, WorkloadProfile::uniform_test())
+    }
+
+    #[test]
+    fn full_space_covers_all_tiers_and_k() {
+        let platform = Platform::aws_lambda();
+        let s = ConfigSpace::full(&job(10), &platform);
+        assert_eq!(s.memory_tiers_mb.len(), 46);
+        assert_eq!(s.k_m_values, (1..=10).collect::<Vec<_>>());
+        assert_eq!(s.k_r_values, (2..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrency_bounds_k_m_from_below() {
+        let mut platform = Platform::aws_lambda();
+        platform.max_concurrency = 4;
+        let s = ConfigSpace::full(&job(10), &platform);
+        // Fewer than ceil(10/4)=3 objects per mapper would need > 4 mappers.
+        assert_eq!(s.k_m_values[0], 3);
+    }
+
+    #[test]
+    fn k_r_candidates_collapse_above_j() {
+        let platform = Platform::aws_lambda();
+        let s = ConfigSpace::full(&job(10), &platform);
+        // j = 3 mappers: k_R in {2, 3} only (4..10 behave like 3).
+        assert_eq!(s.k_r_candidates(3), vec![2, 3]);
+        // j = 1: single candidate.
+        assert_eq!(s.k_r_candidates(1), vec![2]);
+    }
+
+    #[test]
+    fn size_matches_iterator_count() {
+        let platform = Platform::aws_lambda();
+        let j = job(6);
+        let s = ConfigSpace::with_tiers(&j, &platform, &[128, 1024]);
+        assert_eq!(s.size(&j), s.iter_configs(&j).count());
+    }
+
+    #[test]
+    fn iterated_configs_are_unique() {
+        let platform = Platform::aws_lambda();
+        let j = job(5);
+        let s = ConfigSpace::with_tiers(&j, &platform, &[128, 3008]);
+        let configs: Vec<JobConfig> = s.iter_configs(&j).collect();
+        let mut dedup = configs.clone();
+        dedup.sort_by_key(|c| {
+            (
+                c.mapper_mem_mb,
+                c.coordinator_mem_mb,
+                c.reducer_mem_mb,
+                c.objects_per_mapper,
+                c.objects_per_reducer,
+            )
+        });
+        dedup.dedup();
+        assert_eq!(dedup.len(), configs.len());
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates every table and figure into `results/`.
+use astra_experiments::*;
+
+type Experiment = (&'static str, fn(&mut Output));
+
+fn main() {
+    let experiments: Vec<Experiment> = vec![
+        ("exp_table1", exp_table1::run),
+        ("exp_fig1_fig2", exp_fig1_fig2::run),
+        ("exp_fig3", exp_fig3::run),
+        ("exp_fig6", exp_fig6::run),
+        ("exp_fig7_table3", exp_fig7_table3::run),
+        ("exp_fig8", exp_fig8::run),
+        ("exp_fig9", exp_fig9::run),
+        ("exp_spark", exp_spark::run),
+        ("exp_model_accuracy", exp_model_accuracy::run),
+        ("exp_solvers", exp_solvers::run),
+        ("exp_ephemeral", exp_ephemeral::run),
+        ("exp_multicloud", exp_multicloud::run),
+        ("exp_noise", exp_noise::run),
+        ("exp_skew", exp_skew::run),
+        ("exp_warm", exp_warm::run),
+    ];
+    for (name, run) in experiments {
+        let t0 = std::time::Instant::now();
+        let mut out = Output::new(name);
+        run(&mut out);
+        out.save().expect("write results/");
+        eprintln!("[{name}] done in {:.1}s", t0.elapsed().as_secs_f64());
+        println!();
+    }
+}

@@ -1,0 +1,149 @@
+//! Fig. 8: QoS-constrained cost minimization — Astra versus Baselines
+//! 1–3 on all five workloads.
+
+use astra_baselines::Baseline;
+use astra_core::{Objective, Plan};
+use astra_workloads::WorkloadSpec;
+use serde_json::json;
+
+use crate::harness::{self, Measured};
+use crate::output::Output;
+
+/// The QoS threshold as a multiple of the fastest achievable JCT. 2x is
+/// a realistic latency SLO with headroom — binding enough that the
+/// cheapest plan (often 10x slower) is excluded.
+pub const DEADLINE_FRAC: f64 = 2.0;
+
+/// One workload's comparison.
+#[derive(Debug)]
+pub struct QosComparison {
+    /// Workload.
+    pub spec: WorkloadSpec,
+    /// The completion-time threshold (seconds).
+    pub deadline_s: f64,
+    /// Astra's plan under the threshold.
+    pub astra_plan: Plan,
+    /// Astra measured.
+    pub astra: Measured,
+    /// Baselines measured.
+    pub baselines: Vec<(&'static str, Measured)>,
+}
+
+/// Plan and measure one workload under the QoS threshold.
+pub fn compare(spec: WorkloadSpec) -> QosComparison {
+    let job = spec.into_job();
+    let bounds = harness::bounds(&job);
+    let deadline_s = harness::deadline_times_fastest(&bounds, DEADLINE_FRAC);
+    let astra_plan = harness::astra()
+        .plan(&job, Objective::min_cost_with_deadline_s(deadline_s))
+        .expect("deadline above the fastest plan is feasible");
+    let astra = harness::measure(&job, &astra_plan);
+    let baselines = Baseline::all()
+        .into_iter()
+        .map(|b| {
+            let plan = harness::evaluate_relaxed(&job, b.spec_for(&job));
+            (b.name, harness::measure(&job, &plan))
+        })
+        .collect();
+    QosComparison {
+        spec,
+        deadline_s,
+        astra_plan,
+        astra,
+        baselines,
+    }
+}
+
+/// Run the experiment.
+pub fn run(out: &mut Output) {
+    out.heading("Fig. 8: cost under a completion-time threshold — Astra vs Baselines 1-3");
+    out.line(format!(
+        "(threshold = {DEADLINE_FRAC} x fastest achievable JCT; 5 noisy seeds each)"
+    ));
+    out.blank();
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for spec in WorkloadSpec::paper_suite() {
+        let c = compare(spec);
+        let best_baseline = c
+            .baselines
+            .iter()
+            .map(|(_, m)| m.cost.dollars())
+            .fold(f64::INFINITY, f64::min);
+        rows.push(vec![
+            spec.label(),
+            format!("{:.5}", c.astra.cost.dollars()),
+            format!("{:.5}", c.baselines[0].1.cost.dollars()),
+            format!("{:.5}", c.baselines[1].1.cost.dollars()),
+            format!("{:.5}", c.baselines[2].1.cost.dollars()),
+            format!(
+                "{:.1}%",
+                harness::improvement_pct(c.astra.cost.dollars(), best_baseline)
+            ),
+            format!("({:.1}s, {:.1}s)", c.deadline_s, c.astra.jct_s),
+        ]);
+        json_rows.push(json!({
+            "workload": spec.label(),
+            "deadline_s": c.deadline_s,
+            "astra_cost_dollars": c.astra.cost.dollars(),
+            "astra_jct_s": c.astra.jct_s,
+            "baselines": c.baselines.iter().map(|(n, m)| json!({"name": n, "cost": m.cost.dollars(), "jct_s": m.jct_s})).collect::<Vec<_>>(),
+            "saving_vs_best_baseline_pct": harness::improvement_pct(c.astra.cost.dollars(), best_baseline),
+            "plan": c.astra_plan.summary(),
+        }));
+    }
+    out.table(
+        &[
+            "workload",
+            "Astra ($)",
+            "B1 ($)",
+            "B2 ($)",
+            "B3 ($)",
+            "vs best",
+            "(threshold, Astra JCT)",
+        ],
+        &rows,
+    );
+    out.record("rows", json!(json_rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn astra_is_cheapest_on_wordcount_1gb_and_meets_deadline() {
+        let c = compare(WorkloadSpec::wordcount_gb(1));
+        for (name, m) in &c.baselines {
+            assert!(
+                c.astra.cost < m.cost,
+                "Astra {} not cheaper than {name} {}",
+                c.astra.cost,
+                m.cost
+            );
+        }
+        // Predicted JCT honours the threshold; measured (noisy, with cold
+        // starts the model ignores) must stay close.
+        assert!(c.astra_plan.predicted_jct_s() <= c.deadline_s + 1e-9);
+        assert!(c.astra.jct_s <= c.deadline_s * 1.3);
+    }
+
+    #[test]
+    fn astra_undercuts_every_baseline_by_a_clear_margin() {
+        // The paper reports Astra at least ~17% cheaper than the best
+        // baseline per workload. (Note: in the paper's measurements the
+        // all-128MB Baseline 2 was the cheapest baseline; under our
+        // calibration the 128 MB CPU-efficiency penalty makes Baseline 1
+        // the cheapest — EXPERIMENTS.md discusses the flip. The headline
+        // claim, Astra cheapest of all, holds either way.)
+        let c = compare(WorkloadSpec::wordcount_gb(1));
+        let best = c
+            .baselines
+            .iter()
+            .map(|(_, m)| m.cost.dollars())
+            .fold(f64::INFINITY, f64::min);
+        let saving = crate::harness::improvement_pct(c.astra.cost.dollars(), best);
+        assert!(saving > 10.0, "saving only {saving:.1}%");
+    }
+}

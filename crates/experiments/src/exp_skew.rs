@@ -1,0 +1,149 @@
+//! Extension experiment: input-size skew and LPT mapper assignment.
+//!
+//! Sec. II-C observes that the framework's consecutive `k`-at-a-time
+//! object assignment creates stragglers once the distribution is skewed.
+//! Astra's model *prices* that skew faithfully (it tracks per-object
+//! sizes through every phase), so a natural extension is to *remove* it:
+//! assign objects to mappers by Longest-Processing-Time-first instead.
+//! This experiment quantifies the straggler penalty and the LPT win on
+//! jobs with lognormally skewed object sizes.
+
+use astra_core::Plan;
+use astra_model::distribute::assign_lpt;
+use astra_model::perf::mapper_phase_with_assignment;
+use astra_model::JobSpec;
+use astra_simcore::NoiseModel;
+use serde_json::json;
+
+use crate::harness;
+use crate::output::Output;
+
+/// A 1 GB wordcount-profile job whose 20 object sizes are lognormally
+/// skewed with the given CV (seeded; total size preserved).
+pub fn skewed_job(cv: f64, seed: u64) -> JobSpec {
+    let n = 20;
+    let total_mb = 1024.0;
+    let mut noise = NoiseModel::new(seed, cv);
+    let mut sizes: Vec<f64> = (0..n).map(|_| noise.factor()).collect();
+    let sum: f64 = sizes.iter().sum();
+    for s in &mut sizes {
+        *s *= total_mb / sum;
+    }
+    JobSpec {
+        name: format!("skewed-cv{cv:.1}"),
+        object_sizes_mb: sizes,
+        profile: astra_workloads::profiles::wordcount(),
+    }
+}
+
+/// Mapper-phase durations under consecutive vs LPT assignment for the
+/// same mapper count. Returns `(consecutive_s, lpt_s)`.
+pub fn compare_assignment(job: &JobSpec, k_m: usize, mem: u32) -> (f64, f64) {
+    let platform = harness::platform();
+    let consecutive =
+        astra_model::perf::mapper_phase(job, &platform, mem, k_m);
+    let workers = consecutive.per_mapper_secs.len();
+    let lpt_assign = assign_lpt(&job.object_sizes_mb, workers);
+    let lpt = mapper_phase_with_assignment(job, &platform, mem, &lpt_assign);
+    (consecutive.duration_s, lpt.duration_s)
+}
+
+/// Run the experiment.
+pub fn run(out: &mut Output) {
+    out.heading("Extension: input skew and LPT mapper assignment");
+    out.line("(1 GB wordcount in 20 objects, lognormal size skew; mapper phase T1, model)");
+    out.blank();
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for cv in [0.0, 0.25, 0.5, 1.0, 2.0] {
+        let job = skewed_job(cv, 7);
+        let max_obj = job
+            .object_sizes_mb
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        for (k_m, mem) in [(2usize, 1024u32), (4, 1024)] {
+            let (cons, lpt) = compare_assignment(&job, k_m, mem);
+            rows.push(vec![
+                format!("{cv:.2}"),
+                format!("{max_obj:.0}"),
+                format!("{k_m}"),
+                format!("{cons:.1}"),
+                format!("{lpt:.1}"),
+                format!("{:.1}%", (1.0 - lpt / cons) * 100.0),
+            ]);
+            json_rows.push(json!({
+                "size_cv": cv,
+                "largest_object_mb": max_obj,
+                "k_m": k_m,
+                "consecutive_t1_s": cons,
+                "lpt_t1_s": lpt,
+                "t1_reduction_pct": (1.0 - lpt / cons) * 100.0,
+            }));
+        }
+    }
+    out.table(
+        &[
+            "size CV",
+            "largest obj (MB)",
+            "k_M",
+            "consecutive T1 (s)",
+            "LPT T1 (s)",
+            "LPT gain",
+        ],
+        &rows,
+    );
+    out.blank();
+    out.line("Uniform inputs (CV 0): assignments coincide. The more skewed the");
+    out.line("objects, the longer the consecutive straggler and the bigger the LPT");
+    out.line("win — bounded by the indivisible largest object.");
+    out.record("rows", json!(json_rows));
+
+    // Planner-facing check: the model prices the skew — same total size,
+    // but the skewed job's predicted JCT reflects its straggler.
+    let uniform = astra_workloads::WorkloadSpec::wordcount_gb(1).into_job();
+    let skewed = skewed_job(1.0, 7);
+    let astra = harness::astra();
+    let up: Plan = astra.plan(&uniform, astra_core::Objective::fastest()).unwrap();
+    let sp: Plan = astra.plan(&skewed, astra_core::Objective::fastest()).unwrap();
+    out.blank();
+    out.line(format!("uniform job fastest plan: {}", up.summary()));
+    out.line(format!("skewed  job fastest plan: {}", sp.summary()));
+    out.record("uniform_plan", json!(up.summary()));
+    out.record("skewed_plan", json!(sp.summary()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpt_never_loses_and_wins_under_skew() {
+        for cv in [0.5, 1.0, 2.0] {
+            let job = skewed_job(cv, 3);
+            let (cons, lpt) = compare_assignment(&job, 2, 1024);
+            assert!(lpt <= cons + 1e-9, "cv {cv}: lpt {lpt} worse than {cons}");
+        }
+        // Strong skew: a strict win.
+        let job = skewed_job(2.0, 3);
+        let (cons, lpt) = compare_assignment(&job, 2, 1024);
+        assert!(lpt < cons * 0.98, "cv 2.0: lpt {lpt} vs cons {cons}");
+    }
+
+    #[test]
+    fn uniform_inputs_tie() {
+        let job = skewed_job(0.0, 1);
+        let (cons, lpt) = compare_assignment(&job, 4, 512);
+        assert!((cons - lpt).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_jobs_preserve_total_size() {
+        for cv in [0.25, 1.0, 2.0] {
+            let job = skewed_job(cv, 9);
+            assert!((job.total_mb() - 1024.0).abs() < 1e-6);
+            assert_eq!(job.num_objects(), 20);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Table I: partial orchestration of a MapReduce job for 10 input
+//! objects, as the number of objects per lambda varies from 1 to 5.
+
+use astra_model::schedule::reduce_schedule;
+use serde_json::json;
+
+use crate::output::Output;
+
+/// Number of input objects in the motivation experiment.
+pub const N_OBJECTS: usize = 10;
+
+/// One column of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Orchestration {
+    /// Objects per mapper and per reducer (`k`).
+    pub k: usize,
+    /// Number of mappers (`j = ceil(N/k)`).
+    pub mappers: usize,
+    /// Reducers per step (`g_1 .. g_P`).
+    pub reducers_per_step: Vec<usize>,
+}
+
+/// Compute the orchestration for one `k` (used for both mappers and
+/// reducers, as the paper's sweep does).
+pub fn orchestration(k: usize) -> Orchestration {
+    let mappers = N_OBJECTS.div_ceil(k);
+    let outputs = vec![1.0; mappers];
+    let steps = reduce_schedule(&outputs, k, 1.0);
+    Orchestration {
+        k,
+        mappers,
+        reducers_per_step: steps.iter().map(|s| s.reducers()).collect(),
+    }
+}
+
+/// Run the experiment.
+pub fn run(out: &mut Output) {
+    out.heading("Table I: orchestration of a MapReduce job for 10 input objects");
+    out.line("(paper Sec. II-C; k = objects per mapper = objects per reducer)");
+    out.blank();
+
+    let columns: Vec<Orchestration> = (1..=5).map(orchestration).collect();
+    let max_steps = columns
+        .iter()
+        .map(|c| c.reducers_per_step.len())
+        .max()
+        .unwrap();
+
+    let mut rows = Vec::new();
+    rows.push(
+        std::iter::once("number of mappers".to_string())
+            .chain(columns.iter().map(|c| c.mappers.to_string()))
+            .collect::<Vec<_>>(),
+    );
+    for step in 0..max_steps {
+        rows.push(
+            std::iter::once(format!("step {} (number of reducers)", step + 1))
+                .chain(columns.iter().map(|c| {
+                    c.reducers_per_step
+                        .get(step)
+                        .map(|g| g.to_string())
+                        .unwrap_or_else(|| "-".to_string())
+                }))
+                .collect(),
+        );
+    }
+    out.table(&["", "k=1", "k=2", "k=3", "k=4", "k=5"], &rows);
+    out.blank();
+    out.line("Note: at k=1 a reduce step must combine >=2 objects to make");
+    out.line("progress, so an effective k_R of 2 applies (see astra-model docs).");
+
+    out.record(
+        "columns",
+        json!(columns
+            .iter()
+            .map(|c| json!({
+                "k": c.k,
+                "mappers": c.mappers,
+                "reducers_per_step": c.reducers_per_step,
+            }))
+            .collect::<Vec<_>>()),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The k = 2..5 columns must match the paper's Table I exactly.
+    #[test]
+    fn matches_paper_columns() {
+        assert_eq!(orchestration(2).mappers, 5);
+        assert_eq!(orchestration(2).reducers_per_step, vec![3, 2, 1]);
+        assert_eq!(orchestration(3).mappers, 4);
+        assert_eq!(orchestration(3).reducers_per_step, vec![2, 1]);
+        assert_eq!(orchestration(4).mappers, 3);
+        assert_eq!(orchestration(4).reducers_per_step, vec![1]);
+        assert_eq!(orchestration(5).mappers, 2);
+        assert_eq!(orchestration(5).reducers_per_step, vec![1]);
+    }
+
+    #[test]
+    fn k1_uses_ten_mappers() {
+        let c = orchestration(1);
+        assert_eq!(c.mappers, 10);
+        assert_eq!(c.reducers_per_step, vec![5, 3, 2, 1]);
+    }
+
+    #[test]
+    fn report_renders() {
+        let mut out = Output::new("t");
+        run(&mut out);
+        assert!(out.text().contains("number of mappers"));
+        assert!(out.text().contains("k=5"));
+    }
+}

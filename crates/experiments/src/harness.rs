@@ -1,0 +1,182 @@
+//! Shared measurement machinery for all experiments.
+
+use astra_core::{Astra, Objective, Plan, PlanSpec, Strategy};
+use astra_faas::{SimConfig, SimReport};
+use astra_mapreduce::simulate;
+use astra_model::{JobSpec, Platform};
+use astra_pricing::{Money, PriceCatalog};
+
+/// Default runtime-noise coefficient of variation for "measured" runs.
+pub const NOISE_CV: f64 = 0.10;
+/// Seeds used for repeated measurements.
+pub const SEEDS: [u64; 5] = [11, 23, 37, 53, 71];
+/// The AWS per-function timeout the evaluation platform enforces.
+pub const AWS_TIMEOUT_S: f64 = 900.0;
+
+/// One measured (simulated) execution, averaged over [`SEEDS`].
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Mean job completion time across seeds (seconds).
+    pub jct_s: f64,
+    /// Mean total bill across seeds.
+    pub cost: Money,
+    /// Lambdas whose handler exceeded the AWS timeout in any seed run
+    /// (runs execute on a relaxed-timeout platform so that naive
+    /// baselines finish; violations are reported, as the paper's real
+    /// deployment would have seen them killed).
+    pub timeout_violations: Vec<String>,
+    /// The last seed's full report (for traces).
+    pub last_report: SimReport,
+}
+
+/// The evaluation platform: AWS Lambda with the `aws_like` network.
+pub fn platform() -> Platform {
+    Platform::aws_lambda()
+}
+
+/// A planner over the evaluation platform with the given strategy.
+pub fn astra_with(strategy: Strategy) -> Astra {
+    Astra::new(platform(), PriceCatalog::aws_2020(), strategy)
+}
+
+/// The default planner (exact constrained solver).
+pub fn astra() -> Astra {
+    astra_with(Strategy::ExactCsp)
+}
+
+/// Evaluate a plan spec against a *relaxed-timeout* platform (baselines
+/// may violate the AWS limit; Astra's own plans never do because the
+/// planner prunes them).
+pub fn evaluate_relaxed(job: &JobSpec, spec: PlanSpec) -> Plan {
+    let mut relaxed = platform();
+    relaxed.timeout_s = f64::INFINITY;
+    Plan::evaluate(job, &relaxed, &PriceCatalog::aws_2020(), spec)
+        .expect("relaxed platform accepts any in-range configuration")
+}
+
+/// Simulate `plan` over all [`SEEDS`] with realistic noise and cold
+/// starts, averaging JCT and cost.
+pub fn measure(job: &JobSpec, plan: &Plan) -> Measured {
+    measure_with(job, plan, NOISE_CV, &SEEDS)
+}
+
+/// [`measure`] with custom noise and seeds.
+pub fn measure_with(job: &JobSpec, plan: &Plan, noise_cv: f64, seeds: &[u64]) -> Measured {
+    let mut relaxed = platform();
+    relaxed.timeout_s = f64::INFINITY;
+    let mut jct_sum = 0.0;
+    let mut cost_sum = Money::ZERO;
+    let mut violations: Vec<String> = Vec::new();
+    let mut last = None;
+    for &seed in seeds {
+        let config = SimConfig::deterministic(relaxed.clone()).with_noise(noise_cv, seed);
+        let report = simulate(job, plan, config)
+            .unwrap_or_else(|e| panic!("simulation of {} failed: {e}", job.name));
+        jct_sum += report.jct_s();
+        cost_sum += report.total_cost();
+        for inv in &report.invoices {
+            if inv.duration().as_secs_f64() > AWS_TIMEOUT_S && !violations.contains(&inv.name) {
+                violations.push(inv.name.clone());
+            }
+        }
+        last = Some(report);
+    }
+    let n = seeds.len() as f64;
+    Measured {
+        jct_s: jct_sum / n,
+        cost: cost_sum / seeds.len() as i128,
+        timeout_violations: violations,
+        last_report: last.expect("at least one seed"),
+    }
+}
+
+/// Plan bounds for a job: the model's cheapest-possible cost and
+/// fastest-possible JCT (with the cost of the fastest plan), used to set
+/// meaningful budgets and deadlines.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanBounds {
+    /// Minimum achievable predicted cost.
+    pub min_cost: Money,
+    /// Predicted JCT of the cheapest plan.
+    pub jct_of_cheapest: f64,
+    /// Minimum achievable predicted JCT.
+    pub min_jct_s: f64,
+    /// Predicted cost of the fastest plan.
+    pub cost_of_fastest: Money,
+}
+
+/// Compute [`PlanBounds`] by planning unconstrained in both directions.
+pub fn bounds(job: &JobSpec) -> PlanBounds {
+    let astra = astra();
+    let cheapest = astra
+        .plan(job, Objective::cheapest())
+        .expect("every job has a cheapest plan");
+    let fastest = astra
+        .plan(job, Objective::fastest())
+        .expect("every job has a fastest plan");
+    PlanBounds {
+        min_cost: cheapest.predicted_cost(),
+        jct_of_cheapest: cheapest.predicted_jct_s(),
+        min_jct_s: fastest.predicted_jct_s(),
+        cost_of_fastest: fastest.predicted_cost(),
+    }
+}
+
+/// The budget used in the Fig. 7 experiments: `min + frac·(max − min)`
+/// between the cheapest plan's cost and the fastest plan's cost — a
+/// binding budget, as the paper's hand-picked ones are.
+pub fn budget_between(b: &PlanBounds, frac: f64) -> Money {
+    b.min_cost + (b.cost_of_fastest - b.min_cost).scale(frac)
+}
+
+/// The QoS threshold used in the Fig. 8 experiments: `frac ×` the fastest
+/// achievable JCT.
+pub fn deadline_times_fastest(b: &PlanBounds, frac: f64) -> f64 {
+    b.min_jct_s * frac
+}
+
+/// Percentage improvement of `ours` over `theirs` (positive = we win).
+pub fn improvement_pct(ours: f64, theirs: f64) -> f64 {
+    if theirs == 0.0 {
+        0.0
+    } else {
+        (theirs - ours) / theirs * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_model::WorkloadProfile;
+
+    fn tiny_job() -> JobSpec {
+        JobSpec::uniform("h", 6, 1.0, WorkloadProfile::uniform_test())
+    }
+
+    #[test]
+    fn bounds_are_consistent() {
+        let b = bounds(&tiny_job());
+        assert!(b.min_cost <= b.cost_of_fastest);
+        assert!(b.min_jct_s <= b.jct_of_cheapest);
+        let mid = budget_between(&b, 0.5);
+        assert!(mid >= b.min_cost && mid <= b.cost_of_fastest);
+    }
+
+    #[test]
+    fn measure_averages_over_seeds() {
+        let job = tiny_job();
+        let astra = astra();
+        let plan = astra.plan(&job, Objective::cheapest()).unwrap();
+        let m = measure_with(&job, &plan, 0.0, &[1, 2]);
+        assert!(m.jct_s > 0.0);
+        assert!(m.cost > Money::ZERO);
+        assert!(m.timeout_violations.is_empty());
+    }
+
+    #[test]
+    fn improvement_math() {
+        assert_eq!(improvement_pct(50.0, 100.0), 50.0);
+        assert_eq!(improvement_pct(100.0, 50.0), -100.0);
+        assert_eq!(improvement_pct(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! The experiment harness: one module (and one binary) per table/figure
+//! of the paper's evaluation, plus ablations.
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table I (orchestration for 10 objects) | [`exp_table1`] | `exp_table1` |
+//! | Fig. 1 + Fig. 2 (JCT & cost vs objects/λ × memory) | [`exp_fig1_fig2`] | `exp_fig1_fig2` |
+//! | Fig. 3 (job timelines, two configs) | [`exp_fig3`] | `exp_fig3` |
+//! | Fig. 6 (JCT / mapper time / cost vs memory) | [`exp_fig6`] | `exp_fig6` |
+//! | Fig. 7 + Table III (budget-constrained perf vs baselines) | [`exp_fig7_table3`] | `exp_fig7_table3` |
+//! | Fig. 8 (QoS-constrained cost vs baselines) | [`exp_fig8`] | `exp_fig8` |
+//! | Fig. 9 (Astra vs EMR) | [`exp_fig9`] | `exp_fig9` |
+//! | Discussion ¶ (vs VM Spark, ≥92 % cheaper) | [`exp_spark`] | `exp_spark` |
+//! | Discussion ¶ (solver overhead) + Algorithm 1 | [`exp_solvers`] | `exp_solvers` |
+//! | Model accuracy (predictor vs simulator) | [`exp_model_accuracy`] | `exp_model_accuracy` |
+//! | Discussion ¶ (alternative intermediate storage) | [`exp_ephemeral`] | `exp_ephemeral` |
+//! | Discussion ¶ (other providers: GCF, Azure) | [`exp_multicloud`] | `exp_multicloud` |
+//! | Noise/failure robustness ablation | [`exp_noise`] | `exp_noise` |
+//! | Input-skew + LPT assignment extension | [`exp_skew`] | `exp_skew` |
+//! | Warm-container reuse ablation | [`exp_warm`] | `exp_warm` |
+//!
+//! `cargo run --release -p astra-experiments --bin run_all` regenerates
+//! everything into `results/` (ASCII tables on stdout and per-experiment
+//! `.txt`/`.json` files); EXPERIMENTS.md quotes those outputs.
+
+pub mod exp_ephemeral;
+pub mod exp_fig1_fig2;
+pub mod exp_fig3;
+pub mod exp_fig6;
+pub mod exp_fig7_table3;
+pub mod exp_fig8;
+pub mod exp_fig9;
+pub mod exp_model_accuracy;
+pub mod exp_multicloud;
+pub mod exp_noise;
+pub mod exp_skew;
+pub mod exp_warm;
+pub mod exp_solvers;
+pub mod exp_spark;
+pub mod exp_table1;
+pub mod harness;
+pub mod output;
+
+pub use output::Output;

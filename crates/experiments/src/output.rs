@@ -1,0 +1,149 @@
+//! Result collection: ASCII tables on stdout plus `.txt`/`.json` files
+//! under `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Sink for one experiment's results.
+pub struct Output {
+    name: String,
+    text: String,
+    json: serde_json::Map<String, serde_json::Value>,
+    dir: PathBuf,
+}
+
+impl Output {
+    /// Create a sink for experiment `name`, writing under `results/`
+    /// (created on save).
+    pub fn new(name: impl Into<String>) -> Self {
+        Output {
+            name: name.into(),
+            text: String::new(),
+            json: serde_json::Map::new(),
+            dir: PathBuf::from("results"),
+        }
+    }
+
+    /// Use a custom output directory (tests).
+    pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = dir.into();
+        self
+    }
+
+    /// Append a line to the report (also echoed to stdout on save).
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        self.text.push_str(s.as_ref());
+        self.text.push('\n');
+    }
+
+    /// Append a blank line.
+    pub fn blank(&mut self) {
+        self.text.push('\n');
+    }
+
+    /// Append a section heading.
+    pub fn heading(&mut self, s: impl AsRef<str>) {
+        let s = s.as_ref();
+        self.line(s);
+        self.line("-".repeat(s.len()));
+    }
+
+    /// Append a formatted table: `header` then `rows`, columns padded.
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) {
+        let cols = header.len();
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged table row");
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut line = String::new();
+        for (i, h) in header.iter().enumerate() {
+            let _ = write!(line, "{:>w$}  ", h, w = widths[i]);
+        }
+        self.line(line.trim_end());
+        let mut sep = String::new();
+        for w in &widths {
+            let _ = write!(sep, "{}  ", "-".repeat(*w));
+        }
+        self.line(sep.trim_end());
+        for row in rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:>w$}  ", cell, w = widths[i]);
+            }
+            self.line(line.trim_end());
+        }
+    }
+
+    /// Attach a machine-readable value to the JSON sidecar.
+    pub fn record(&mut self, key: impl Into<String>, value: serde_json::Value) {
+        self.json.insert(key.into(), value);
+    }
+
+    /// The accumulated report text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Write `results/<name>.txt` and `results/<name>.json`, echoing the
+    /// report to stdout.
+    pub fn save(&self) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        fs::write(self.dir.join(format!("{}.txt", self.name)), &self.text)?;
+        let json = serde_json::Value::Object(self.json.clone());
+        fs::write(
+            self.dir.join(format!("{}.json", self.name)),
+            serde_json::to_string_pretty(&json)?,
+        )?;
+        print!("{}", self.text);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let mut out = Output::new("t");
+        out.table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.text().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("1"));
+        // Both data rows align on the right edge.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn save_writes_both_files() {
+        let dir = std::env::temp_dir().join("astra-output-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut out = Output::new("demo").with_dir(&dir);
+        out.heading("Demo");
+        out.record("answer", serde_json::json!(42));
+        out.save().unwrap();
+        assert!(dir.join("demo.txt").exists());
+        let json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("demo.json")).unwrap()).unwrap();
+        assert_eq!(json["answer"], 42);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut out = Output::new("t");
+        out.table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! A discrete-event AWS-Lambda-like FaaS platform simulator.
+//!
+//! This is the substrate substituting for the paper's real AWS Lambda
+//! deployment (see DESIGN.md). A *function invocation* is a script of
+//! [`Op`]s — object-store GETs/PUTs, compute bursts, and child-invocation
+//! barriers — executed over simulated time with:
+//!
+//! * **memory-proportional CPU** (saturating at the platform's vCPU
+//!   ceiling, reproducing the paper's Fig. 6 plateau past ~1.5 GB);
+//! * **cold starts** on every container launch;
+//! * the **account concurrency limit** with FIFO admission (AWS's 1000);
+//! * the **per-function timeout** (900 s) — exceeding it fails the run;
+//! * **stochastic runtime noise** (seeded lognormal, configurable CV);
+//! * exact **billing**: per-invocation fee plus GB-seconds rounded up to
+//!   the billing granularity, and an S3 ledger for request/storage
+//!   charges.
+//!
+//! The simulator also *validates dataflow*: a GET of a key that no
+//! completed PUT produced is an orchestration bug and aborts the run.
+//!
+//! `astra-mapreduce` compiles an execution plan into these scripts; the
+//! experiment harness measures makespans and bills from the resulting
+//! [`SimReport`]s.
+
+pub mod engine;
+pub mod ops;
+pub mod report;
+
+pub use engine::{FaasSim, SimConfig, SimError};
+pub use ops::{LambdaSpec, Op, StoreKind};
+pub use report::{Invoice, SimReport};

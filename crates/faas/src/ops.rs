@@ -1,0 +1,133 @@
+//! The operation scripts a simulated lambda executes.
+
+/// Which storage tier an object operation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StoreKind {
+    /// Persistent object storage (S3): job input and, when no
+    /// intermediate store is configured, everything else too.
+    #[default]
+    Persistent,
+    /// The configured intermediate (ephemeral) store — shuffle output,
+    /// state objects and reduce intermediates. Behaves exactly like
+    /// `Persistent` when the platform has no intermediate store.
+    Ephemeral,
+}
+
+/// One step in a lambda's body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Read `key` from a store. The key must exist (have been PUT, or
+    /// registered as job input) when the GET starts.
+    Get {
+        /// Object key.
+        key: String,
+        /// Which tier the object lives in.
+        store: StoreKind,
+    },
+    /// Write `size_mb` under `key`. The object becomes visible when the
+    /// PUT *completes*.
+    Put {
+        /// Object key.
+        key: String,
+        /// Object size in MB.
+        size_mb: f64,
+        /// Which tier to write to.
+        store: StoreKind,
+    },
+    /// Burn CPU for `secs` seconds of 128 MB-tier time; the engine scales
+    /// it by the invocation's memory tier and applies noise.
+    Compute {
+        /// Seconds of work at the 128 MB reference tier.
+        secs_at_128: f64,
+    },
+    /// Invoke child lambdas. With `wait`, block until every child
+    /// finishes (the coordinator's per-step barrier); without, continue
+    /// immediately (fire-and-forget, used for the final reducer step per
+    /// the paper's Eq. 14 coordinator lifetime).
+    Spawn {
+        /// The children to invoke.
+        children: Vec<LambdaSpec>,
+        /// Whether to block until all children complete.
+        wait: bool,
+    },
+}
+
+/// A function invocation request: a name (for traces and invoices), a
+/// memory tier, and the op script to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LambdaSpec {
+    /// Unique name, e.g. `"mapper-3"` or `"reducer-2-0"`.
+    pub name: String,
+    /// Memory allocation in MB (must be a platform tier).
+    pub memory_mb: u32,
+    /// The body.
+    pub ops: Vec<Op>,
+    /// A client-side driver, not a lambda: it models the user's machine
+    /// submitting the job — no cold start, no concurrency token, no bill,
+    /// no timeout. Its only legal ops are [`Op::Spawn`]s.
+    pub client: bool,
+}
+
+impl LambdaSpec {
+    /// Convenience constructor for a real lambda.
+    pub fn new(name: impl Into<String>, memory_mb: u32, ops: Vec<Op>) -> Self {
+        LambdaSpec {
+            name: name.into(),
+            memory_mb,
+            ops,
+            client: false,
+        }
+    }
+
+    /// An unbilled client-side driver (only `Op::Spawn` allowed).
+    pub fn client_driver(name: impl Into<String>, ops: Vec<Op>) -> Self {
+        assert!(
+            ops.iter().all(|op| matches!(op, Op::Spawn { .. })),
+            "a client driver may only spawn lambdas"
+        );
+        LambdaSpec {
+            name: name.into(),
+            memory_mb: 0,
+            ops,
+            client: true,
+        }
+    }
+
+    /// Number of ops, counting nested children recursively.
+    pub fn total_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Spawn { children, .. } => {
+                    1 + children.iter().map(LambdaSpec::total_ops).sum::<usize>()
+                }
+                _ => 1,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_ops_counts_nested() {
+        let child = LambdaSpec::new("c", 128, vec![Op::Compute { secs_at_128: 1.0 }]);
+        let parent = LambdaSpec::new(
+            "p",
+            128,
+            vec![
+                Op::Get {
+                    key: "a".into(),
+                    store: StoreKind::Persistent,
+                },
+                Op::Spawn {
+                    children: vec![child.clone(), child],
+                    wait: true,
+                },
+            ],
+        );
+        assert_eq!(parent.total_ops(), 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Run results: per-invocation invoices and the aggregate report.
+
+use astra_pricing::{Money, PriceCatalog};
+use astra_simcore::{SimDuration, SimTime, TraceLog};
+use astra_storage::LedgerSnapshot;
+
+/// The bill for one function invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invoice {
+    /// Invocation name.
+    pub name: String,
+    /// Memory tier (MB).
+    pub memory_mb: u32,
+    /// When the handler started (after cold start).
+    pub started: SimTime,
+    /// When the handler finished.
+    pub finished: SimTime,
+    /// Billed duration in microseconds (rounded up to the billing
+    /// granularity).
+    pub billed_us: u64,
+    /// Invocation fee + runtime charge.
+    pub cost: Money,
+}
+
+impl Invoice {
+    /// Raw handler duration (pre-rounding).
+    pub fn duration(&self) -> SimDuration {
+        self.finished.since(self.started)
+    }
+}
+
+/// Aggregate result of one simulated job run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Time from submission to the last event (job completion time).
+    pub makespan: SimDuration,
+    /// Sum of all lambda invoices.
+    pub lambda_cost: Money,
+    /// Persistent object-store (S3) bill (requests + storage integral).
+    pub storage_cost: Money,
+    /// Intermediate-store bill (requests + storage + rental); zero when
+    /// no intermediate store is configured.
+    pub ephemeral_cost: Money,
+    /// Per-invocation invoices, in finish order.
+    pub invoices: Vec<Invoice>,
+    /// Persistent-store accounting snapshot at completion.
+    pub ledger: LedgerSnapshot,
+    /// Intermediate-store accounting snapshot (all zero without one).
+    pub inter_ledger: LedgerSnapshot,
+    /// Span trace (Gantt source for the Fig. 3 timelines).
+    pub trace: TraceLog,
+    /// Highest number of concurrently running lambdas observed.
+    pub peak_concurrency: usize,
+    /// Number of invocations that had to queue behind the concurrency cap.
+    pub queued_invocations: u64,
+    /// Injected container crashes that were retried.
+    pub crashes: u64,
+    /// Invocations served by a warm container (container reuse only).
+    pub warm_starts: u64,
+}
+
+impl SimReport {
+    /// Total bill: lambda + persistent storage + intermediate store.
+    pub fn total_cost(&self) -> Money {
+        self.lambda_cost + self.storage_cost + self.ephemeral_cost
+    }
+
+    /// Job completion time in seconds.
+    pub fn jct_s(&self) -> f64 {
+        self.makespan.as_secs_f64()
+    }
+
+    /// Invoice lookup by name.
+    pub fn invoice(&self, name: &str) -> Option<&Invoice> {
+        self.invoices.iter().find(|i| i.name == name)
+    }
+
+    /// Number of invocations.
+    pub fn invocation_count(&self) -> usize {
+        self.invoices.len()
+    }
+
+    /// Recompute the lambda bill from the invoices under a different
+    /// catalog (used by pricing what-if ablations).
+    pub fn reprice_lambdas(&self, catalog: &PriceCatalog) -> Money {
+        self.invoices
+            .iter()
+            .map(|i| catalog.lambda.invocation_cost(i.memory_mb, i.duration().as_micros()))
+            .sum()
+    }
+}

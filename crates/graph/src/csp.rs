@@ -1,0 +1,322 @@
+//! Exact resource-constrained shortest path (RCSP) via Pareto-label search.
+//!
+//! The planner's real problem — "minimize completion time subject to a
+//! budget" (paper Eq. 16–19) or its dual (Eq. 20–22) — is a weight-
+//! constrained shortest path, which is NP-hard in general but solved
+//! exactly and fast on layered DAGs by label-setting with Pareto dominance
+//! pruning. This module is the correctness oracle against which the paper's
+//! heuristic Algorithm 1 is compared in the ablation benches.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+
+/// Result of a constrained shortest-path query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CspSolution {
+    /// Total primary weight (the objective).
+    pub weight: f64,
+    /// Total secondary resource consumed (must be `<= bound`).
+    pub resource: f64,
+    /// Edge sequence from source to target.
+    pub edges: Vec<EdgeId>,
+}
+
+#[derive(Clone, Debug)]
+struct Label {
+    node: NodeId,
+    // Predecessor label index in the label arena + the edge taken.
+    // (The label's weight/resource travel in the heap entry.)
+    pred: Option<(usize, EdgeId)>,
+}
+
+struct HeapItem {
+    weight: f64,
+    resource: f64,
+    label_idx: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.weight == other.weight && self.resource == other.resource
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (weight, resource), then label index for determinism.
+        other
+            .weight
+            .total_cmp(&self.weight)
+            .then_with(|| other.resource.total_cmp(&self.resource))
+            .then_with(|| other.label_idx.cmp(&self.label_idx))
+    }
+}
+
+/// Exact constrained shortest path: minimize the sum of `weight` over a
+/// source→target path subject to the sum of `resource` being `<= bound`.
+///
+/// Both metrics must be non-negative. Labels are expanded in
+/// lexicographic (weight, resource) order; the first label to settle on
+/// `target` is optimal. Dominance pruning keeps per-node Pareto frontiers
+/// small — on Astra's layered DAGs (≤ 6 hops) frontiers stay tiny.
+///
+/// Returns `None` when no feasible path exists.
+pub fn constrained_shortest_path<N, E>(
+    g: &DiGraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    bound: f64,
+    mut weight: impl FnMut(EdgeId, &E) -> f64,
+    mut resource: impl FnMut(EdgeId, &E) -> f64,
+) -> Option<CspSolution> {
+    let n = g.node_count();
+    // Per-node Pareto frontier of settled (weight, resource) pairs.
+    let mut frontier: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
+    let mut labels: Vec<Label> = Vec::new();
+    let mut heap = BinaryHeap::new();
+
+    labels.push(Label {
+        node: source,
+        pred: None,
+    });
+    heap.push(HeapItem {
+        weight: 0.0,
+        resource: 0.0,
+        label_idx: 0,
+    });
+
+    while let Some(HeapItem {
+        weight: w0,
+        resource: r0,
+        label_idx,
+    }) = heap.pop()
+    {
+        let node = labels[label_idx].node;
+        // Dominance check at settle time (lazy deletion).
+        if frontier[node.0 as usize]
+            .iter()
+            .any(|&(fw, fr)| fw <= w0 + 1e-12 && fr <= r0 + 1e-12)
+        {
+            continue;
+        }
+        frontier[node.0 as usize].push((w0, r0));
+
+        if node == target {
+            // First settled label at the target is the optimum.
+            let mut edges = Vec::new();
+            let mut cur = label_idx;
+            while let Some((p, e)) = labels[cur].pred {
+                edges.push(e);
+                cur = p;
+            }
+            edges.reverse();
+            return Some(CspSolution {
+                weight: w0,
+                resource: r0,
+                edges,
+            });
+        }
+
+        for (eid, payload) in g.out_edges(node) {
+            let ew = weight(eid, payload);
+            let er = resource(eid, payload);
+            debug_assert!(ew >= 0.0 && er >= 0.0, "RCSP requires non-negative metrics");
+            let nw = w0 + ew;
+            let nr = r0 + er;
+            if nr > bound + 1e-12 {
+                continue; // infeasible extension
+            }
+            let (_, v) = g.endpoints(eid);
+            if frontier[v.0 as usize]
+                .iter()
+                .any(|&(fw, fr)| fw <= nw + 1e-12 && fr <= nr + 1e-12)
+            {
+                continue; // dominated
+            }
+            let idx = labels.len();
+            labels.push(Label {
+                node: v,
+                pred: Some((label_idx, eid)),
+            });
+            heap.push(HeapItem {
+                weight: nw,
+                resource: nr,
+                label_idx: idx,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Two-metric diamond where the cheapest path violates the bound.
+    #[test]
+    fn constraint_forces_the_expensive_path() {
+        let mut g: DiGraph<(), (f64, f64)> = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        // Fast but costly: weight 2, resource 10.
+        g.add_edge(s, a, (1.0, 5.0));
+        g.add_edge(a, t, (1.0, 5.0));
+        // Slow but cheap: weight 6, resource 2.
+        g.add_edge(s, b, (3.0, 1.0));
+        g.add_edge(b, t, (3.0, 1.0));
+
+        let sol = constrained_shortest_path(&g, s, t, 4.0, |_, e| e.0, |_, e| e.1).unwrap();
+        assert_eq!(sol.weight, 6.0);
+        assert_eq!(sol.resource, 2.0);
+
+        let unbounded =
+            constrained_shortest_path(&g, s, t, f64::INFINITY, |_, e| e.0, |_, e| e.1).unwrap();
+        assert_eq!(unbounded.weight, 2.0);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let mut g: DiGraph<(), (f64, f64)> = DiGraph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, t, (1.0, 100.0));
+        assert!(
+            constrained_shortest_path(&g, s, t, 50.0, |_, e| e.0, |_, e| e.1).is_none()
+        );
+    }
+
+    #[test]
+    fn exact_bound_is_feasible() {
+        let mut g: DiGraph<(), (f64, f64)> = DiGraph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, t, (1.0, 100.0));
+        let sol = constrained_shortest_path(&g, s, t, 100.0, |_, e| e.0, |_, e| e.1);
+        assert!(sol.is_some());
+    }
+
+    #[test]
+    fn source_is_target() {
+        let mut g: DiGraph<(), (f64, f64)> = DiGraph::new();
+        let s = g.add_node(());
+        let sol = constrained_shortest_path(&g, s, s, 0.0, |_, e| e.0, |_, e| e.1).unwrap();
+        assert_eq!(sol.weight, 0.0);
+        assert!(sol.edges.is_empty());
+    }
+
+    /// Exhaustive DFS reference for randomized cross-checks.
+    fn brute_force(
+        g: &DiGraph<(), (f64, f64)>,
+        s: NodeId,
+        t: NodeId,
+        bound: f64,
+    ) -> Option<(f64, f64)> {
+        #[allow(clippy::too_many_arguments)]
+        fn dfs(
+            g: &DiGraph<(), (f64, f64)>,
+            u: NodeId,
+            t: NodeId,
+            bound: f64,
+            w: f64,
+            r: f64,
+            visited: &mut Vec<bool>,
+            best: &mut Option<(f64, f64)>,
+        ) {
+            if r > bound + 1e-12 {
+                return;
+            }
+            if u == t {
+                if best.is_none() || w < best.unwrap().0 {
+                    *best = Some((w, r));
+                }
+                return;
+            }
+            visited[u.0 as usize] = true;
+            for (eid, &(ew, er)) in g.out_edges(u) {
+                let (_, v) = g.endpoints(eid);
+                if !visited[v.0 as usize] {
+                    dfs(g, v, t, bound, w + ew, r + er, visited, best);
+                }
+            }
+            visited[u.0 as usize] = false;
+        }
+        let mut best = None;
+        let mut visited = vec![false; g.node_count()];
+        dfs(g, s, t, bound, 0.0, 0.0, &mut visited, &mut best);
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_layered_dags() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for case in 0..60 {
+            // Layered DAG like the planner's: 4 layers, 2-4 nodes each.
+            let mut g: DiGraph<(), (f64, f64)> = DiGraph::new();
+            let s = g.add_node(());
+            let mut prev = vec![s];
+            for _ in 0..4 {
+                let k = rng.random_range(2..5usize);
+                let layer: Vec<NodeId> = (0..k).map(|_| g.add_node(())).collect();
+                for &u in &prev {
+                    for &v in &layer {
+                        g.add_edge(
+                            u,
+                            v,
+                            (rng.random_range(0.0..5.0), rng.random_range(0.0..5.0)),
+                        );
+                    }
+                }
+                prev = layer;
+            }
+            let t = g.add_node(());
+            for &u in &prev {
+                g.add_edge(u, t, (0.0, 0.0));
+            }
+            let bound = rng.random_range(5.0..20.0);
+            let got = constrained_shortest_path(&g, s, t, bound, |_, e| e.0, |_, e| e.1);
+            let want = brute_force(&g, s, t, bound);
+            match (got, want) {
+                (None, None) => {}
+                (Some(sol), Some((bw, _))) => {
+                    assert!(
+                        (sol.weight - bw).abs() < 1e-9,
+                        "case {case}: got {} want {bw}",
+                        sol.weight
+                    );
+                    assert!(sol.resource <= bound + 1e-9);
+                }
+                other => panic!("case {case}: feasibility mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn solution_edges_are_contiguous() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g: DiGraph<(), (f64, f64)> = DiGraph::new();
+        let s = g.add_node(());
+        let mid: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        let t = g.add_node(());
+        for &m in &mid {
+            g.add_edge(s, m, (rng.random_range(0.0..3.0), rng.random_range(0.0..3.0)));
+            g.add_edge(m, t, (rng.random_range(0.0..3.0), rng.random_range(0.0..3.0)));
+        }
+        let sol =
+            constrained_shortest_path(&g, s, t, 100.0, |_, e| e.0, |_, e| e.1).unwrap();
+        assert_eq!(sol.edges.len(), 2);
+        assert_eq!(g.endpoints(sol.edges[0]).0, s);
+        assert_eq!(g.endpoints(sol.edges[0]).1, g.endpoints(sol.edges[1]).0);
+        assert_eq!(g.endpoints(sol.edges[1]).1, t);
+    }
+}

@@ -1,0 +1,288 @@
+//! Single-source shortest paths (Dijkstra) with closure-supplied weights.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+
+/// A shortest path: its total weight and the edge sequence from source to
+/// target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPath {
+    /// Sum of edge weights along the path.
+    pub weight: f64,
+    /// Edges in order from source to target.
+    pub edges: Vec<EdgeId>,
+}
+
+impl ShortestPath {
+    /// Node sequence of the path (source first), derived from the edges.
+    pub fn nodes<N, E>(&self, g: &DiGraph<N, E>, source: NodeId) -> Vec<NodeId> {
+        let mut out = vec![source];
+        for &e in &self.edges {
+            out.push(g.endpoints(e).1);
+        }
+        out
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; tie-break on node id for determinism.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Dijkstra's algorithm from `source` to `target`.
+///
+/// * `weight` maps an edge (id + payload) to a **non-negative** weight;
+///   negative weights panic in debug builds and corrupt results in release,
+///   as usual for Dijkstra.
+/// * `enabled` masks edges: Yen's algorithm and the paper's Algorithm 1
+///   re-run Dijkstra on subgraphs, which this avoids copying.
+///
+/// Returns `None` when `target` is unreachable through enabled edges.
+pub fn shortest_path<N, E>(
+    g: &DiGraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    mut weight: impl FnMut(EdgeId, &E) -> f64,
+    mut enabled: impl FnMut(EdgeId) -> bool,
+) -> Option<ShortestPath> {
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<EdgeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+
+    dist[source.0 as usize] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        let ui = u.0 as usize;
+        if done[ui] {
+            continue;
+        }
+        done[ui] = true;
+        if u == target {
+            break;
+        }
+        for (eid, payload) in g.out_edges(u) {
+            if !enabled(eid) {
+                continue;
+            }
+            let w = weight(eid, payload);
+            debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+            let (_, v) = g.endpoints(eid);
+            let vi = v.0 as usize;
+            let nd = d + w;
+            if nd < dist[vi] {
+                dist[vi] = nd;
+                prev[vi] = Some(eid);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+
+    if !dist[target.0 as usize].is_finite() {
+        return None;
+    }
+
+    // Reconstruct the edge sequence by walking predecessors.
+    let mut edges = Vec::new();
+    let mut cur = target;
+    while cur != source {
+        let e = prev[cur.0 as usize].expect("broken predecessor chain");
+        edges.push(e);
+        cur = g.endpoints(e).0;
+    }
+    edges.reverse();
+    Some(ShortestPath {
+        weight: dist[target.0 as usize],
+        edges,
+    })
+}
+
+/// Convenience wrapper: shortest path with all edges enabled.
+pub fn shortest_path_all<N, E>(
+    g: &DiGraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    weight: impl FnMut(EdgeId, &E) -> f64,
+) -> Option<ShortestPath> {
+    shortest_path(g, source, target, weight, |_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn w(_: EdgeId, e: &f64) -> f64 {
+        *e
+    }
+
+    #[test]
+    fn picks_cheaper_branch() {
+        let mut g = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, 1.0);
+        g.add_edge(a, t, 1.0);
+        g.add_edge(s, b, 1.0);
+        g.add_edge(b, t, 5.0);
+        let p = shortest_path_all(&g, s, t, w).unwrap();
+        assert_eq!(p.weight, 2.0);
+        assert_eq!(p.nodes(&g, s), vec![s, a, t]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        assert!(shortest_path_all(&g, s, t, w).is_none());
+    }
+
+    #[test]
+    fn source_equals_target_is_empty_path() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let s = g.add_node(());
+        let p = shortest_path_all(&g, s, s, w).unwrap();
+        assert_eq!(p.weight, 0.0);
+        assert!(p.edges.is_empty());
+    }
+
+    #[test]
+    fn masked_edge_forces_detour() {
+        let mut g = DiGraph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        let direct = g.add_edge(s, t, 1.0);
+        let a = g.add_node(());
+        g.add_edge(s, a, 2.0);
+        g.add_edge(a, t, 2.0);
+        let p = shortest_path(&g, s, t, w, |e| e != direct).unwrap();
+        assert_eq!(p.weight, 4.0);
+        assert_eq!(p.edges.len(), 2);
+    }
+
+    #[test]
+    fn zero_weight_edges_work() {
+        let mut g = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, 0.0);
+        g.add_edge(a, t, 0.0);
+        let p = shortest_path_all(&g, s, t, w).unwrap();
+        assert_eq!(p.weight, 0.0);
+    }
+
+    /// Bellman–Ford reference used for randomized cross-checks.
+    fn bellman_ford(g: &DiGraph<(), f64>, s: NodeId, t: NodeId) -> Option<f64> {
+        let n = g.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[s.0 as usize] = 0.0;
+        for _ in 0..n {
+            let mut changed = false;
+            for u in g.node_ids() {
+                if !dist[u.0 as usize].is_finite() {
+                    continue;
+                }
+                for (eid, &wt) in g.out_edges(u) {
+                    let (_, v) = g.endpoints(eid);
+                    let nd = dist[u.0 as usize] + wt;
+                    if nd < dist[v.0 as usize] {
+                        dist[v.0 as usize] = nd;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        dist[t.0 as usize].is_finite().then_some(dist[t.0 as usize])
+    }
+
+    #[test]
+    fn matches_bellman_ford_on_random_dags() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..50 {
+            let n = rng.random_range(2..30usize);
+            let mut g: DiGraph<(), f64> = DiGraph::new();
+            let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.random::<f64>() < 0.3 {
+                        g.add_edge(nodes[i], nodes[j], rng.random_range(0.0..10.0));
+                    }
+                }
+            }
+            let s = nodes[0];
+            let t = nodes[n - 1];
+            let dij = shortest_path_all(&g, s, t, w).map(|p| p.weight);
+            let bf = bellman_ford(&g, s, t);
+            match (dij, bf) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
+                other => panic!("mismatch: {other:?}"),
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn path_weight_equals_sum_of_edges(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.random_range(2..20usize);
+            let mut g: DiGraph<(), f64> = DiGraph::new();
+            let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+            for i in 0..n - 1 {
+                // Guarantee connectivity along the chain, plus random skips.
+                g.add_edge(nodes[i], nodes[i + 1], rng.random_range(0.0..5.0));
+                for j in (i + 2)..n {
+                    if rng.random::<f64>() < 0.2 {
+                        g.add_edge(nodes[i], nodes[j], rng.random_range(0.0..5.0));
+                    }
+                }
+            }
+            let p = shortest_path_all(&g, nodes[0], nodes[n - 1], w).unwrap();
+            let sum: f64 = p.edges.iter().map(|&e| *g.edge(e)).sum();
+            prop_assert!((sum - p.weight).abs() < 1e-9);
+            // Path must be contiguous from source to target.
+            let seq = p.nodes(&g, nodes[0]);
+            prop_assert_eq!(seq[0], nodes[0]);
+            prop_assert_eq!(*seq.last().unwrap(), nodes[n - 1]);
+            for (k, &e) in p.edges.iter().enumerate() {
+                prop_assert_eq!(g.endpoints(e).0, seq[k]);
+                prop_assert_eq!(g.endpoints(e).1, seq[k + 1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Graphviz (DOT) export for debugging planner DAGs.
+
+use std::fmt::Write;
+
+use crate::graph::DiGraph;
+
+/// Render the graph in DOT format. Node and edge labels are produced by
+/// the supplied closures; pass `|_| String::new()` to omit labels.
+pub fn to_dot<N, E>(
+    g: &DiGraph<N, E>,
+    name: &str,
+    mut node_label: impl FnMut(&N) -> String,
+    mut edge_label: impl FnMut(&E) -> String,
+) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph {name} {{").unwrap();
+    writeln!(out, "  rankdir=LR;").unwrap();
+    for id in g.node_ids() {
+        let label = node_label(g.node(id));
+        if label.is_empty() {
+            writeln!(out, "  {id};").unwrap();
+        } else {
+            writeln!(out, "  {id} [label=\"{}\"];", escape(&label)).unwrap();
+        }
+    }
+    for eid in g.edge_ids() {
+        let (from, to) = g.endpoints(eid);
+        let label = edge_label(g.edge(eid));
+        if label.is_empty() {
+            writeln!(out, "  {from} -> {to};").unwrap();
+        } else {
+            writeln!(out, "  {from} -> {to} [label=\"{}\"];", escape(&label)).unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("start");
+        let b = g.add_node("end");
+        g.add_edge(a, b, 2.5f64);
+        let dot = to_dot(&g, "test", |n| n.to_string(), |e| format!("{e:.1}"));
+        assert!(dot.contains("digraph test {"));
+        assert!(dot.contains("n0 [label=\"start\"]"));
+        assert!(dot.contains("n0 -> n1 [label=\"2.5\"]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_labels_are_omitted() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        let dot = to_dot(&g, "g", |_| String::new(), |_| String::new());
+        assert!(dot.contains("  n0;"));
+        assert!(dot.contains("  n0 -> n1;"));
+        assert!(!dot.contains("label"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut g = DiGraph::new();
+        g.add_node("say \"hi\"");
+        let dot = to_dot(&g, "g", |n| n.to_string(), |_: &()| String::new());
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

@@ -1,0 +1,60 @@
+//! The application interface for real (byte-level) MapReduce runs.
+
+use bytes::Bytes;
+
+/// An analytics application runnable on the byte-level runtime.
+///
+/// The contract mirrors the serverless framework the paper builds on:
+/// a mapper turns raw input bytes into an *intermediate representation*,
+/// and a reducer merges intermediate objects into one. `reduce` must be
+/// associative — the coordinator may merge in any tree shape (the step
+/// schedule), and the final result must not depend on it. The
+/// `reduce_associativity` property tests in `astra-workloads` check this
+/// for every shipped app.
+pub trait MapReduceApp: Send + Sync {
+    /// Application name (diagnostics only).
+    fn name(&self) -> &str;
+
+    /// Transform one mapper's concatenated input bytes into an
+    /// intermediate object.
+    fn map(&self, input: &[u8]) -> Vec<u8>;
+
+    /// Merge intermediate objects (mapper outputs or previous reduce
+    /// outputs) into one.
+    fn reduce(&self, inputs: &[Bytes]) -> Vec<u8>;
+}
+
+/// A trivial app for engine tests: map is identity, reduce concatenates.
+#[derive(Debug, Default)]
+pub struct ConcatApp;
+
+impl MapReduceApp for ConcatApp {
+    fn name(&self) -> &str {
+        "concat"
+    }
+
+    fn map(&self, input: &[u8]) -> Vec<u8> {
+        input.to_vec()
+    }
+
+    fn reduce(&self, inputs: &[Bytes]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in inputs {
+            out.extend_from_slice(i);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_app_roundtrips() {
+        let app = ConcatApp;
+        assert_eq!(app.map(b"abc"), b"abc");
+        let merged = app.reduce(&[Bytes::from_static(b"ab"), Bytes::from_static(b"cd")]);
+        assert_eq!(merged, b"abcd");
+    }
+}

@@ -1,0 +1,63 @@
+//! Object-key naming conventions shared by the simulated and the real
+//! runtime.
+
+/// Key of input object `i`.
+pub fn input(job: &str, i: usize) -> String {
+    format!("{job}/input/{i:06}")
+}
+
+/// Key of mapper `m`'s output (shuffle) object.
+pub fn shuffle(job: &str, m: usize) -> String {
+    format!("{job}/shuffle/{m:06}")
+}
+
+/// Key of the coordinator's state object for reduce step `p` (1-based).
+pub fn state(job: &str, p: usize) -> String {
+    format!("{job}/state/{p:03}")
+}
+
+/// Key of reducer `r`'s output in step `p` (1-based step).
+pub fn reduce_out(job: &str, p: usize, r: usize) -> String {
+    format!("{job}/reduce/{p:03}/{r:06}")
+}
+
+/// Key of the final result object (the last step's single reducer).
+pub fn result(job: &str, num_steps: usize) -> String {
+    reduce_out(job, num_steps, 0)
+}
+
+/// The key a reducer in step `p` reads for its `idx`-th input: mapper
+/// shuffle output for step 1, the previous step's reducer output after.
+pub fn step_input(job: &str, p: usize, idx: usize) -> String {
+    if p == 1 {
+        shuffle(job, idx)
+    } else {
+        reduce_out(job, p - 1, idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_distinct_and_sortable() {
+        assert_eq!(input("j", 3), "j/input/000003");
+        assert_eq!(shuffle("j", 12), "j/shuffle/000012");
+        assert_eq!(state("j", 2), "j/state/002");
+        assert_eq!(reduce_out("j", 1, 0), "j/reduce/001/000000");
+        assert!(input("j", 2) < input("j", 10), "zero padding keeps order");
+    }
+
+    #[test]
+    fn step_inputs_chain_correctly() {
+        assert_eq!(step_input("j", 1, 4), shuffle("j", 4));
+        assert_eq!(step_input("j", 2, 1), reduce_out("j", 1, 1));
+        assert_eq!(step_input("j", 3, 0), reduce_out("j", 2, 0));
+    }
+
+    #[test]
+    fn result_is_last_step_reducer_zero() {
+        assert_eq!(result("j", 3), reduce_out("j", 3, 0));
+    }
+}

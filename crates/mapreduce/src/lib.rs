@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Serverless MapReduce engine — the executable counterpart of the
+//! paper's Fig. 4 workflow.
+//!
+//! Three lambda roles (mapper, coordinator, reducer) exchange every byte
+//! through the object store. This crate materialises an
+//! `astra_core::Plan` in two ways:
+//!
+//! * [`compile`] + [`simulate`] — compile the plan into `astra-faas` op
+//!   scripts and execute them on the discrete-event simulator. This is
+//!   how the paper-scale experiments (GB inputs, hundreds of lambdas)
+//!   "run": data is represented by sizes, timing and billing are
+//!   physical. Used for every figure in EXPERIMENTS.md.
+//! * [`local`] — execute the *same orchestration* with real threads over
+//!   real bytes in a [`MemStore`](astra_storage::MemStore), with the
+//!   user-supplied [`MapReduceApp`](apps::MapReduceApp) doing actual
+//!   analytics. This validates end-to-end correctness: wordcount counts,
+//!   sort orders, query aggregates (see `astra-workloads`).
+//!
+//! The two paths share [`keys`] (object naming) and the plan's schedule,
+//! so a dataflow bug would fail both the simulator's missing-object check
+//! and the byte-level output assertions.
+
+pub mod apps;
+pub mod compile;
+pub mod keys;
+pub mod local;
+pub mod simulate;
+
+pub use apps::MapReduceApp;
+pub use compile::{compile, CompiledJob};
+pub use local::{run_local, LocalReport};
+pub use simulate::simulate;

@@ -1,0 +1,68 @@
+//! The configuration vector the planner optimizes over.
+
+use serde::{Deserialize, Serialize};
+
+/// One point in the paper's configuration space: three memory choices plus
+/// the two data-partitioning knobs.
+///
+/// Together with the job spec this determines everything else — the number
+/// of mappers `j = ceil(N / objects_per_mapper)`, the reducer-step schedule
+/// of Table II, and through them the completion time and cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JobConfig {
+    /// Memory tier for every mapper lambda (the `x_i` choice, MB).
+    pub mapper_mem_mb: u32,
+    /// Memory tier for the coordinator lambda (the `y_a` choice, MB).
+    pub coordinator_mem_mb: u32,
+    /// Memory tier for every reducer lambda (the `z_s` choice, MB).
+    pub reducer_mem_mb: u32,
+    /// Objects processed per mapper (`k_M`).
+    pub objects_per_mapper: usize,
+    /// Objects processed per reducer in each step (`k_R`).
+    pub objects_per_reducer: usize,
+}
+
+impl JobConfig {
+    /// Number of mappers this configuration launches for `n` input objects
+    /// (`j = ceil(N / k_M)`).
+    pub fn num_mappers(&self, n_objects: usize) -> usize {
+        n_objects.div_ceil(self.objects_per_mapper.max(1)).max(1)
+    }
+
+    /// Panics unless the partitioning knobs are positive.
+    pub fn validate(&self) {
+        assert!(self.objects_per_mapper >= 1, "k_M must be at least 1");
+        assert!(self.objects_per_reducer >= 1, "k_R must be at least 1");
+        assert!(self.mapper_mem_mb > 0 && self.coordinator_mem_mb > 0 && self.reducer_mem_mb > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(k_m: usize) -> JobConfig {
+        JobConfig {
+            mapper_mem_mb: 128,
+            coordinator_mem_mb: 128,
+            reducer_mem_mb: 128,
+            objects_per_mapper: k_m,
+            objects_per_reducer: 2,
+        }
+    }
+
+    #[test]
+    fn mapper_count_is_ceiling_division() {
+        // Table I: 10 objects, k_M = 2 -> 5 mappers; k_M = 3 -> 4; k_M = 4 -> 3.
+        assert_eq!(cfg(1).num_mappers(10), 10);
+        assert_eq!(cfg(2).num_mappers(10), 5);
+        assert_eq!(cfg(3).num_mappers(10), 4);
+        assert_eq!(cfg(4).num_mappers(10), 3);
+        assert_eq!(cfg(5).num_mappers(10), 2);
+    }
+
+    #[test]
+    fn oversized_k_m_gives_one_mapper() {
+        assert_eq!(cfg(100).num_mappers(10), 1);
+    }
+}

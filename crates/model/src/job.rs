@@ -1,0 +1,78 @@
+//! A job to plan: its input objects and workload profile.
+
+use serde::{Deserialize, Serialize};
+
+use crate::workload::WorkloadProfile;
+
+/// One analytics job: `N` input objects of known sizes (stored in the
+/// object store before submission) plus the workload's profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Job name, used for object-key prefixes and reports.
+    pub name: String,
+    /// Size in MB of each input object (`N = object_sizes_mb.len()`,
+    /// `D = sum`).
+    pub object_sizes_mb: Vec<f64>,
+    /// The workload's compute/data-flow profile.
+    pub profile: WorkloadProfile,
+}
+
+impl JobSpec {
+    /// A job over `n` uniform objects of `size_mb` each.
+    pub fn uniform(
+        name: impl Into<String>,
+        n: usize,
+        size_mb: f64,
+        profile: WorkloadProfile,
+    ) -> Self {
+        assert!(n > 0, "a job needs at least one input object");
+        assert!(size_mb > 0.0, "objects must be non-empty");
+        JobSpec {
+            name: name.into(),
+            object_sizes_mb: vec![size_mb; n],
+            profile,
+        }
+    }
+
+    /// Number of input objects (`N`).
+    pub fn num_objects(&self) -> usize {
+        self.object_sizes_mb.len()
+    }
+
+    /// Total input size in MB (`D`).
+    pub fn total_mb(&self) -> f64 {
+        self.object_sizes_mb.iter().sum()
+    }
+
+    /// Total shuffle (mapper-output) size in MB (`S = alpha * D`).
+    pub fn shuffle_mb(&self) -> f64 {
+        self.total_mb() * self.profile.shuffle_ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_job_totals() {
+        let j = JobSpec::uniform("t", 10, 0.2, WorkloadProfile::uniform_test());
+        assert_eq!(j.num_objects(), 10);
+        assert!((j.total_mb() - 2.0).abs() < 1e-12);
+        assert!((j.shuffle_mb() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shuffle_scales_with_ratio() {
+        let mut p = WorkloadProfile::uniform_test();
+        p.shuffle_ratio = 0.1;
+        let j = JobSpec::uniform("t", 4, 25.0, p);
+        assert!((j.shuffle_mb() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input object")]
+    fn empty_job_rejected() {
+        JobSpec::uniform("t", 0, 1.0, WorkloadProfile::uniform_test());
+    }
+}

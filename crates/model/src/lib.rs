@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! Analytical performance and monetary-cost models for serverless
+//! MapReduce, reproducing Sec. III of the Astra paper.
+//!
+//! The model answers one question: *given a job and a configuration, how
+//! long will it take and what will it cost?* — without running anything.
+//! The planner (`astra-core`) evaluates these formulas over the whole
+//! configuration space to build its Fig. 5 DAG; the event simulator
+//! (`astra-faas` + `astra-mapreduce`) executes the same job physically and
+//! is what the "measured" numbers in the experiments come from. At zero
+//! simulator noise and zero cold-start the two agree closely (the
+//! `model_vs_sim` ablation quantifies the residual).
+//!
+//! Model structure, mapped to the paper:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Lambda memory tiers, speed ∝ memory (Sec. II-C) | [`platform`] |
+//! | Mapper lifetime, Eq. 1–4 | [`perf::mapper_phase`] |
+//! | Coordinator lifetime, Eq. 5–6 | [`perf::coordinator_phase`] |
+//! | Reducer-step schedule, Table II | [`schedule`] |
+//! | Reducing phase, Eq. 7–9 | [`perf::reduce_phase`] |
+//! | Request / storage / runtime cost, Eq. 10–15 | [`cost`] |
+//!
+//! ## Documented deviations from the paper's literal formulas
+//!
+//! 1. **Per-step parallelism.** Eq. 9 sums the *total* reducing-phase data
+//!    volume, as if reducers within a step did not run in parallel — yet the
+//!    paper's own Fig. 3 timeline shows them parallel. We model each step's
+//!    duration as (slowest reducer's transfer) + (slowest reducer's
+//!    compute), which is exactly the separable decomposition the paper's
+//!    Fig. 5 DAG uses (transfer and compute live on different edge sets).
+//! 2. **Per-request latency.** Eq. 4 charges pure bandwidth `(d+e)/B`;
+//!    real S3 adds a first-byte latency per request, which dominates for
+//!    many-small-object configurations (Fig. 1's left side). Both model and
+//!    simulator include it; set it to zero in [`TransferModel`] for the
+//!    literal paper form.
+//! 3. **Per-lambda billing.** Eq. 13 bills the mapper phase as `v_i · T1`
+//!    (the slowest mapper's duration, once). AWS bills every lambda for its
+//!    own rounded-up duration; we bill per-lambda, which is what the
+//!    simulator's invoice contains as well.
+//! 4. **State-object GETs.** The reference framework's reducers read the
+//!    coordinator's state object; Eq. 10 omits those GETs. We include one
+//!    state GET per reducer in both model and simulator.
+//!
+//! [`TransferModel`]: astra_storage::TransferModel
+
+pub mod config;
+pub mod cost;
+pub mod distribute;
+pub mod ephemeral;
+pub mod evaluate;
+pub mod job;
+pub mod perf;
+pub mod platform;
+pub mod schedule;
+pub mod workload;
+
+pub use config::JobConfig;
+pub use cost::{CostBreakdown, CostParams};
+pub use ephemeral::IntermediateStorage;
+pub use evaluate::{check_feasibility, evaluate, Evaluation, Infeasibility};
+pub use job::JobSpec;
+pub use perf::{PerfBreakdown, ReducePhase, ReduceTierTimes};
+pub use platform::Platform;
+pub use schedule::{reduce_schedule, ReduceStep};
+pub use workload::WorkloadProfile;

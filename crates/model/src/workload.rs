@@ -1,0 +1,109 @@
+//! Workload profiles: the per-byte compute intensity and data-reduction
+//! behaviour that distinguish Wordcount from Sort from Query.
+
+use serde::{Deserialize, Serialize};
+
+/// Computational and data-flow characteristics of one analytics workload.
+///
+/// In the paper these coefficients (`u_i`, the mapper output/input
+/// proportionality of Sec. III-A1, and the per-step reduction of Table II)
+/// are obtained by profiling the real job on AWS; here they are calibrated
+/// constants, one set per benchmark (see `astra-workloads::profiles`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Human-readable name ("wordcount", "sort", "query").
+    pub name: String,
+    /// Seconds for a 128 MB lambda to *map* one MB of input (`u_i` at the
+    /// base tier; other tiers scale by `Platform::speed_factor`).
+    pub map_secs_per_mb_128: f64,
+    /// Seconds for a 128 MB lambda to *reduce* one MB of input.
+    pub reduce_secs_per_mb_128: f64,
+    /// Seconds for a 128 MB coordinator to plan one MB of shuffle data
+    /// (small: the coordinator only does arithmetic over object counts).
+    pub coord_secs_per_mb_128: f64,
+    /// Mapper output size as a fraction of its input size ("the output
+    /// size is proportional to the input size", Sec. III-A1). Wordcount
+    /// shrinks data heavily; Sort preserves it (≈ 1.0).
+    pub shuffle_ratio: f64,
+    /// Each reduce step's total output as a fraction of its total input
+    /// (the `q_p` progression of Table II).
+    pub reduce_ratio: f64,
+    /// Size of the coordinator's per-step reducer-state object in MB
+    /// (`l`; the paper assumes 1 MB).
+    pub state_object_mb: f64,
+    /// Reduce once and stop, instead of funnelling to a single final
+    /// reducer. Sec. III always reduces to one object, but the paper's own
+    /// Table III shows Sort finishing with 7 reducers in 1 step — a sort's
+    /// range-partitioned output needs no final merge. Set for Sort only.
+    pub single_pass_reduce: bool,
+}
+
+impl WorkloadProfile {
+    /// A featureless profile for unit tests: 1 s/MB everywhere, no data
+    /// reduction, 1 MB state objects.
+    pub fn uniform_test() -> Self {
+        WorkloadProfile {
+            name: "uniform-test".to_string(),
+            map_secs_per_mb_128: 1.0,
+            reduce_secs_per_mb_128: 1.0,
+            coord_secs_per_mb_128: 0.01,
+            shuffle_ratio: 1.0,
+            reduce_ratio: 1.0,
+            state_object_mb: 1.0,
+            single_pass_reduce: false,
+        }
+    }
+
+    /// Panics if any coefficient is outside its sane range. Called by the
+    /// evaluator so a bad calibration fails loudly, not silently.
+    pub fn validate(&self) {
+        assert!(self.map_secs_per_mb_128 >= 0.0, "negative map intensity");
+        assert!(
+            self.reduce_secs_per_mb_128 >= 0.0,
+            "negative reduce intensity"
+        );
+        assert!(
+            self.coord_secs_per_mb_128 >= 0.0,
+            "negative coordinator intensity"
+        );
+        assert!(
+            self.shuffle_ratio > 0.0,
+            "shuffle ratio must be positive (mappers must emit something)"
+        );
+        assert!(
+            self.reduce_ratio > 0.0 && self.reduce_ratio <= 1.0,
+            "reduce ratio must be in (0, 1]: reducing cannot grow data in this model"
+        );
+        assert!(self.state_object_mb >= 0.0, "negative state object size");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_test_profile_is_valid() {
+        WorkloadProfile::uniform_test().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shuffle ratio")]
+    fn zero_shuffle_ratio_rejected() {
+        let p = WorkloadProfile {
+            shuffle_ratio: 0.0,
+            ..WorkloadProfile::uniform_test()
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "reduce ratio")]
+    fn growing_reduce_ratio_rejected() {
+        let p = WorkloadProfile {
+            reduce_ratio: 1.5,
+            ..WorkloadProfile::uniform_test()
+        };
+        p.validate();
+    }
+}

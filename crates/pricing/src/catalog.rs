@@ -1,0 +1,72 @@
+//! The combined price catalog consumed by every cost-aware component.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lambda::LambdaPricing;
+use crate::s3::S3Pricing;
+use crate::vm::{VmPricing, M3_XLARGE};
+
+/// All prices needed to bill a serverless analytics job and its VM baseline.
+///
+/// The analytical cost model (`astra-model`), the event simulator
+/// (`astra-faas` / `astra-storage`) and the EMR baseline share one catalog,
+/// so the Fig. 7–9 cost comparisons are internally consistent by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceCatalog {
+    /// Lambda invocation + runtime pricing.
+    pub lambda: LambdaPricing,
+    /// S3 request + storage pricing.
+    pub s3: S3Pricing,
+    /// VM pricing for the EMR baseline.
+    pub vm: VmPricing,
+}
+
+impl PriceCatalog {
+    /// The 2020 AWS price sheet used throughout the paper.
+    pub fn aws_2020() -> Self {
+        PriceCatalog {
+            lambda: LambdaPricing::aws_2020(),
+            s3: S3Pricing::aws_2020(),
+            vm: M3_XLARGE,
+        }
+    }
+}
+
+impl PriceCatalog {
+    /// Google Cloud (Functions + GCS) 2020 prices — the Discussion's
+    /// "adapted to Google Functions … by using their respective platform
+    /// quotas and pricing mechanisms".
+    pub fn gcp_2020() -> Self {
+        PriceCatalog {
+            lambda: LambdaPricing::gcp_2020(),
+            s3: S3Pricing::gcs_2020(),
+            vm: M3_XLARGE,
+        }
+    }
+
+    /// Microsoft Azure (Functions + Blob) 2020 prices.
+    pub fn azure_2020() -> Self {
+        PriceCatalog {
+            lambda: LambdaPricing::azure_2020(),
+            s3: S3Pricing::azure_blob_2020(),
+            vm: M3_XLARGE,
+        }
+    }
+}
+
+impl Default for PriceCatalog {
+    fn default() -> Self {
+        Self::aws_2020()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_aws_2020() {
+        assert_eq!(PriceCatalog::default(), PriceCatalog::aws_2020());
+    }
+}

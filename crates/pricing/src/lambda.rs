@@ -1,0 +1,127 @@
+//! AWS Lambda pricing as of the paper's evaluation (2020 price sheet).
+
+use serde::{Deserialize, Serialize};
+
+use crate::money::Money;
+
+/// Lambda pricing: invocation charge plus a GB-second runtime charge with a
+/// billing-duration rounding granularity.
+///
+/// The paper quotes "$0.20 per 1 million requests" for invocations (Sec.
+/// III-B3). The runtime charge in the 2020 price sheet was
+/// $0.0000166667 per GB-second, billed in 100 ms increments (AWS moved to
+/// 1 ms rounding in Dec 2020; the paper's experiments predate that, so the
+/// default here is 100 ms and it is configurable).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LambdaPricing {
+    /// Charge per single invocation.
+    pub per_invocation: Money,
+    /// Charge per GB-second of billed duration.
+    pub per_gb_second: Money,
+    /// Billing rounds duration *up* to a multiple of this many microseconds.
+    pub billing_granularity_us: u64,
+}
+
+impl LambdaPricing {
+    /// The 2020 AWS price sheet used by the paper.
+    pub fn aws_2020() -> Self {
+        LambdaPricing {
+            // $0.20 per 1e6 requests = 200 nano-dollars per request.
+            per_invocation: Money::from_nanos(200),
+            // $0.0000166667 per GB-s = 16 666.7 nano-dollars; store the
+            // common exact figure of $16.6667e-6.
+            per_gb_second: Money::from_nanos(16_667),
+            billing_granularity_us: 100_000,
+        }
+    }
+
+    /// Google Cloud Functions (gen-1, 2020): $0.40 per million
+    /// invocations; compute billed as memory (GB-s) plus CPU (GHz-s)
+    /// where CPU is coupled to the memory tier — folded here into an
+    /// effective $16.5e-6 per GB-s. Billed in 100 ms increments.
+    pub fn gcp_2020() -> Self {
+        LambdaPricing {
+            per_invocation: Money::from_nanos(400),
+            per_gb_second: Money::from_nanos(16_500),
+            billing_granularity_us: 100_000,
+        }
+    }
+
+    /// Azure Functions consumption plan (2020): $0.20 per million
+    /// executions, $16e-6 per GB-s, billed per 1 ms with a 100 ms
+    /// minimum (approximated here as 1 ms rounding).
+    pub fn azure_2020() -> Self {
+        LambdaPricing {
+            per_invocation: Money::from_nanos(200),
+            per_gb_second: Money::from_nanos(16_000),
+            billing_granularity_us: 1_000,
+        }
+    }
+
+    /// Round a raw duration up to the billing granularity.
+    pub fn billed_duration_us(&self, duration_us: u64) -> u64 {
+        if self.billing_granularity_us <= 1 {
+            return duration_us;
+        }
+        duration_us.div_ceil(self.billing_granularity_us) * self.billing_granularity_us
+    }
+
+    /// Runtime charge for one invocation of a lambda with `memory_mb` of
+    /// memory running for `duration_us` (pre-rounding) microseconds.
+    pub fn runtime_cost(&self, memory_mb: u32, duration_us: u64) -> Money {
+        let billed_us = self.billed_duration_us(duration_us);
+        let gb_seconds = (memory_mb as f64 / 1024.0) * (billed_us as f64 / 1e6);
+        self.per_gb_second.scale(gb_seconds)
+    }
+
+    /// Total charge (invocation + runtime) for one invocation.
+    pub fn invocation_cost(&self, memory_mb: u32, duration_us: u64) -> Money {
+        self.per_invocation + self.runtime_cost(memory_mb, duration_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn billed_duration_rounds_up_to_100ms() {
+        let p = LambdaPricing::aws_2020();
+        assert_eq!(p.billed_duration_us(1), 100_000);
+        assert_eq!(p.billed_duration_us(100_000), 100_000);
+        assert_eq!(p.billed_duration_us(100_001), 200_000);
+        assert_eq!(p.billed_duration_us(0), 0);
+    }
+
+    #[test]
+    fn one_second_of_one_gb_costs_the_listed_rate() {
+        let p = LambdaPricing::aws_2020();
+        let cost = p.runtime_cost(1024, 1_000_000);
+        assert_eq!(cost, Money::from_nanos(16_667));
+    }
+
+    #[test]
+    fn runtime_cost_scales_with_memory() {
+        let p = LambdaPricing::aws_2020();
+        let small = p.runtime_cost(128, 1_000_000);
+        let big = p.runtime_cost(3008, 1_000_000);
+        // 3008/128 = 23.5x
+        let ratio = big.nanos() as f64 / small.nanos() as f64;
+        assert!((ratio - 23.5).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn invocation_charge_is_200_nanos() {
+        let p = LambdaPricing::aws_2020();
+        assert_eq!(p.invocation_cost(128, 0), Money::from_nanos(200));
+    }
+
+    #[test]
+    fn millisecond_granularity_bills_exactly() {
+        let p = LambdaPricing {
+            billing_granularity_us: 1,
+            ..LambdaPricing::aws_2020()
+        };
+        assert_eq!(p.billed_duration_us(123_456), 123_456);
+    }
+}

@@ -1,0 +1,233 @@
+//! Exact money arithmetic in integer nano-dollars.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of nano-dollars in one dollar.
+pub const NANOS_PER_DOLLAR: i128 = 1_000_000_000;
+
+/// A monetary amount stored as integer nano-dollars.
+///
+/// One S3 GET costs $0.004 / 10 000 = 400 nano-dollars exactly, so every
+/// per-request price the paper quotes is representable without rounding.
+/// `i128` gives headroom for ~1.7e20 dollars — far beyond any simulated bill.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Money(i128);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0);
+
+    /// Construct from raw nano-dollars.
+    pub const fn from_nanos(nanos: i128) -> Self {
+        Money(nanos)
+    }
+
+    /// Construct from whole dollars.
+    pub const fn from_dollars(dollars: i128) -> Self {
+        Money(dollars * NANOS_PER_DOLLAR)
+    }
+
+    /// Construct from micro-dollars ($1e-6).
+    pub const fn from_micros(micros: i128) -> Self {
+        Money(micros * 1_000)
+    }
+
+    /// Construct from a floating-point dollar amount, rounding to the
+    /// nearest nano-dollar. Intended for user-facing budget inputs, not for
+    /// accumulation.
+    pub fn from_dollars_f64(dollars: f64) -> Self {
+        Money((dollars * NANOS_PER_DOLLAR as f64).round() as i128)
+    }
+
+    /// Raw nano-dollars.
+    pub const fn nanos(self) -> i128 {
+        self.0
+    }
+
+    /// Value in dollars as `f64` (for display and plotting only).
+    pub fn dollars(self) -> f64 {
+        self.0 as f64 / NANOS_PER_DOLLAR as f64
+    }
+
+    /// Saturating subtraction clamped at zero: how much budget remains.
+    pub fn saturating_sub(self, rhs: Money) -> Money {
+        Money((self.0 - rhs.0).max(0))
+    }
+
+    /// Multiply by a non-negative `f64` scale (e.g. GB-seconds), rounding to
+    /// the nearest nano-dollar.
+    pub fn scale(self, factor: f64) -> Money {
+        Money((self.0 as f64 * factor).round() as i128)
+    }
+
+    /// True if the amount is strictly negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// The larger of two amounts.
+    pub fn max(self, other: Money) -> Money {
+        Money(self.0.max(other.0))
+    }
+
+    /// The smaller of two amounts.
+    pub fn min(self, other: Money) -> Money {
+        Money(self.0.min(other.0))
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Mul<i128> for Money {
+    type Output = Money;
+    fn mul(self, rhs: i128) -> Money {
+        Money(self.0 * rhs)
+    }
+}
+
+impl Mul<u64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: u64) -> Money {
+        Money(self.0 * rhs as i128)
+    }
+}
+
+impl Div<i128> for Money {
+    type Output = Money;
+    fn div(self, rhs: i128) -> Money {
+        Money(self.0 / rhs)
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        let dollars = abs / NANOS_PER_DOLLAR as u128;
+        let frac = abs % NANOS_PER_DOLLAR as u128;
+        // Print with enough precision that sub-cent serverless charges are
+        // visible, trimming trailing zeros down to two decimals.
+        let mut frac_str = format!("{frac:09}");
+        while frac_str.len() > 2 && frac_str.ends_with('0') {
+            frac_str.pop();
+        }
+        write!(f, "{sign}${dollars}.{frac_str}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn get_request_price_is_exact() {
+        // $0.004 per 10 000 GETs => 400 nano-dollars each.
+        let per_get = Money::from_dollars_f64(0.004) / 10_000;
+        assert_eq!(per_get, Money::from_nanos(400));
+    }
+
+    #[test]
+    fn put_request_price_is_exact() {
+        // $0.005 per 1 000 PUTs => 5 000 nano-dollars each.
+        let per_put = Money::from_dollars_f64(0.005) / 1_000;
+        assert_eq!(per_put, Money::from_nanos(5_000));
+    }
+
+    #[test]
+    fn display_formats_small_amounts() {
+        assert_eq!(Money::from_nanos(400).to_string(), "$0.0000004");
+        assert_eq!(Money::from_dollars(3).to_string(), "$3.00");
+        assert_eq!((-Money::from_dollars(1)).to_string(), "-$1.00");
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = Money::from_dollars(1);
+        let b = Money::from_dollars(2);
+        assert_eq!(a.saturating_sub(b), Money::ZERO);
+        assert_eq!(b.saturating_sub(a), Money::from_dollars(1));
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest() {
+        let m = Money::from_nanos(10);
+        assert_eq!(m.scale(0.26), Money::from_nanos(3));
+        assert_eq!(m.scale(0.24), Money::from_nanos(2));
+    }
+
+    #[test]
+    fn sum_of_iter() {
+        let total: Money = (0..10).map(Money::from_dollars).sum();
+        assert_eq!(total, Money::from_dollars(45));
+    }
+
+    proptest! {
+        #[test]
+        fn add_is_commutative(a in -1_000_000_000i128..1_000_000_000, b in -1_000_000_000i128..1_000_000_000) {
+            prop_assert_eq!(Money::from_nanos(a) + Money::from_nanos(b),
+                            Money::from_nanos(b) + Money::from_nanos(a));
+        }
+
+        #[test]
+        fn add_sub_roundtrip(a in -1_000_000_000i128..1_000_000_000, b in -1_000_000_000i128..1_000_000_000) {
+            let (a, b) = (Money::from_nanos(a), Money::from_nanos(b));
+            prop_assert_eq!(a + b - b, a);
+        }
+
+        #[test]
+        fn dollars_roundtrip_within_nano(d in -1_000.0f64..1_000.0) {
+            let m = Money::from_dollars_f64(d);
+            prop_assert!((m.dollars() - d).abs() < 1e-9);
+        }
+
+        #[test]
+        fn mul_distributes_over_add(a in -1_000_000i128..1_000_000, b in -1_000_000i128..1_000_000, k in 0i128..1_000) {
+            let (ma, mb) = (Money::from_nanos(a), Money::from_nanos(b));
+            prop_assert_eq!((ma + mb) * k, ma * k + mb * k);
+        }
+    }
+}

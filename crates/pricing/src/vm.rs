@@ -1,0 +1,77 @@
+//! EC2 / EMR instance pricing for the VM baseline (Fig. 9).
+
+use serde::{Deserialize, Serialize};
+
+use crate::money::Money;
+
+/// Hourly pricing for a VM instance running under EMR.
+///
+/// The paper's Fig. 9 baseline uses three on-demand `m3.xlarge` instances.
+/// EMR bills the EC2 on-demand rate plus an EMR service fee, per second with
+/// a one-minute minimum (2020 billing rules).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmPricing {
+    /// EC2 on-demand price per hour.
+    pub ec2_per_hour: Money,
+    /// EMR service fee per instance-hour.
+    pub emr_per_hour: Money,
+    /// Minimum billed duration in microseconds (60 s for EMR).
+    pub min_billed_us: u64,
+}
+
+/// `m3.xlarge`: 4 vCPU, 15 GiB RAM; $0.266/h on demand + $0.070/h EMR fee.
+pub const M3_XLARGE: VmPricing = VmPricing {
+    ec2_per_hour: Money::from_micros(266_000),
+    emr_per_hour: Money::from_micros(70_000),
+    min_billed_us: 60_000_000,
+};
+
+impl VmPricing {
+    /// Total (EC2 + EMR) price per hour for one instance.
+    pub fn total_per_hour(&self) -> Money {
+        self.ec2_per_hour + self.emr_per_hour
+    }
+
+    /// Cost of running `instances` VMs for `duration_us` microseconds,
+    /// billed per second with the configured minimum.
+    pub fn cluster_cost(&self, instances: u32, duration_us: u64) -> Money {
+        let billed_us = duration_us.max(self.min_billed_us);
+        // Per-second billing: round up to whole seconds.
+        let billed_s = billed_us.div_ceil(1_000_000);
+        let hourly = self.total_per_hour();
+        hourly.scale(billed_s as f64 / 3600.0) * instances as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hour_three_instances() {
+        let cost = M3_XLARGE.cluster_cost(3, 3_600_000_000);
+        // 3 * (0.266 + 0.070) = $1.008
+        assert_eq!(cost, Money::from_dollars_f64(1.008));
+    }
+
+    #[test]
+    fn minimum_one_minute_billed() {
+        let five_sec = M3_XLARGE.cluster_cost(1, 5_000_000);
+        let one_min = M3_XLARGE.cluster_cost(1, 60_000_000);
+        assert_eq!(five_sec, one_min);
+    }
+
+    #[test]
+    fn per_second_rounding_up() {
+        let a = M3_XLARGE.cluster_cost(1, 61_000_001);
+        let b = M3_XLARGE.cluster_cost(1, 62_000_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cost_scales_with_instances() {
+        let one = M3_XLARGE.cluster_cost(1, 3_600_000_000);
+        let three = M3_XLARGE.cluster_cost(3, 3_600_000_000);
+        assert_eq!(three, one * 3u64);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation core.
+//!
+//! `astra-faas` and `astra-storage` are built on this crate. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time;
+//! * [`EventQueue`] — a monotone future-event list with deterministic
+//!   tie-breaking (events scheduled earlier pop earlier at equal
+//!   timestamps), which makes every simulation run reproducible;
+//! * [`NoiseModel`] — seeded multiplicative lognormal noise used to model
+//!   runtime variance of cloud functions and object-store requests;
+//! * [`FifoTokens`] — a FIFO token pool used for the Lambda concurrency cap;
+//! * [`TraceLog`] — span traces from which the Fig. 3 timelines are drawn;
+//! * [`summary`] — small descriptive-statistics helpers.
+
+pub mod event;
+pub mod noise;
+pub mod resource;
+pub mod summary;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use noise::NoiseModel;
+pub use resource::FifoTokens;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Span, SpanKind, TraceLog};

@@ -1,0 +1,139 @@
+//! Seeded multiplicative noise for modelling cloud runtime variance.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// Multiplicative lognormal noise with mean 1.
+///
+/// Cloud function runtimes and object-store request latencies exhibit
+/// right-skewed variance; a lognormal multiplier with unit mean is the
+/// standard way to model it without shifting averages. A coefficient of
+/// variation of zero degrades to the identity, which the experiment harness
+/// uses to check the simulator against the analytical model exactly.
+#[derive(Debug)]
+pub struct NoiseModel {
+    rng: StdRng,
+    /// Coefficient of variation of the multiplier (0 disables noise).
+    cv: f64,
+    mu: f64,
+    sigma: f64,
+}
+
+impl NoiseModel {
+    /// A noise source with the given coefficient of variation, seeded for
+    /// reproducibility.
+    pub fn new(seed: u64, cv: f64) -> Self {
+        assert!(cv >= 0.0, "coefficient of variation must be non-negative");
+        // For lognormal X = exp(mu + sigma Z): E[X] = exp(mu + sigma^2/2)
+        // and CV^2 = exp(sigma^2) - 1. Solving for unit mean:
+        let sigma2 = (1.0 + cv * cv).ln();
+        let sigma = sigma2.sqrt();
+        let mu = -sigma2 / 2.0;
+        NoiseModel {
+            rng: StdRng::seed_from_u64(seed),
+            cv,
+            mu,
+            sigma,
+        }
+    }
+
+    /// A noiseless model (every factor is exactly 1.0).
+    pub fn disabled(seed: u64) -> Self {
+        Self::new(seed, 0.0)
+    }
+
+    /// The configured coefficient of variation.
+    pub fn cv(&self) -> f64 {
+        self.cv
+    }
+
+    /// Draw one multiplicative factor (mean 1, lognormal).
+    pub fn factor(&mut self) -> f64 {
+        if self.cv == 0.0 {
+            return 1.0;
+        }
+        // Box–Muller from two uniforms; avoids a rand_distr dependency.
+        let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.random::<f64>();
+        let z: f64 = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    /// Apply one noise draw to a duration.
+    pub fn jitter(&mut self, d: SimDuration) -> SimDuration {
+        d.scale(self.factor())
+    }
+
+    /// Draw a uniform value in [0, 1) from the same seeded stream (used
+    /// for failure injection).
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cv_is_identity() {
+        let mut n = NoiseModel::disabled(42);
+        for _ in 0..100 {
+            assert_eq!(n.factor(), 1.0);
+        }
+        let d = SimDuration::from_secs(3);
+        assert_eq!(n.jitter(d), d);
+    }
+
+    #[test]
+    fn mean_is_approximately_one() {
+        let mut n = NoiseModel::new(7, 0.2);
+        let samples = 200_000;
+        let mean: f64 = (0..samples).map(|_| n.factor()).sum::<f64>() / samples as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn cv_is_approximately_configured() {
+        let mut n = NoiseModel::new(9, 0.3);
+        let samples = 200_000;
+        let xs: Vec<f64> = (0..samples).map(|_| n.factor()).collect();
+        let mean = xs.iter().sum::<f64>() / samples as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 0.3).abs() < 0.02, "cv {cv}");
+    }
+
+    #[test]
+    fn factors_are_positive() {
+        let mut n = NoiseModel::new(1, 1.5);
+        for _ in 0..10_000 {
+            assert!(n.factor() > 0.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = NoiseModel::new(5, 0.4);
+        let mut b = NoiseModel::new(5, 0.4);
+        for _ in 0..100 {
+            assert_eq!(a.factor(), b.factor());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseModel::new(5, 0.4);
+        let mut b = NoiseModel::new(6, 0.4);
+        let same = (0..100).filter(|_| a.factor() == b.factor()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cv_panics() {
+        NoiseModel::new(0, -0.1);
+    }
+}

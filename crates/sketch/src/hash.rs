@@ -1,0 +1,60 @@
+//! A small, fast, seedable 64-bit hash (FNV-1a with an avalanche
+//! finisher) — dependency-free and stable across platforms, which the
+//! sketches' serialized form relies on.
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash `bytes` with a seed, finishing with the splitmix64 avalanche so
+/// low-entropy inputs still spread over all 64 bits (plain FNV's low
+/// bits are too regular for HyperLogLog's bucket selection).
+pub fn hash64(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = FNV_OFFSET ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // splitmix64 finisher.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(hash64(b"abc", 0), hash64(b"abc", 0));
+        assert_ne!(hash64(b"abc", 0), hash64(b"abc", 1));
+        assert_ne!(hash64(b"abc", 0), hash64(b"abd", 0));
+    }
+
+    #[test]
+    fn bits_are_roughly_balanced() {
+        // Over many inputs, each of the 64 bits should be ~50% ones.
+        let n = 4096;
+        let mut ones = [0u32; 64];
+        for i in 0..n {
+            let h = hash64(&u64::to_le_bytes(i), 42);
+            for (b, count) in ones.iter_mut().enumerate() {
+                *count += ((h >> b) & 1) as u32;
+            }
+        }
+        for (b, &count) in ones.iter().enumerate() {
+            let frac = count as f64 / n as f64;
+            assert!((0.45..0.55).contains(&frac), "bit {b}: {frac}");
+        }
+    }
+
+    #[test]
+    fn empty_input_hashes() {
+        assert_ne!(hash64(b"", 0), 0);
+        assert_ne!(hash64(b"", 0), hash64(b"", 1));
+    }
+}

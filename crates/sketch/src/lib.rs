@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Mergeable probabilistic sketches for distributed aggregation.
+//!
+//! The paper's Discussion argues Astra "is suitable for other data
+//! analytics workloads which are directly in or convertible to the
+//! MapReduce form". The key property such workloads need is an
+//! *associative, commutative merge* — exactly what sketch data
+//! structures provide. This crate implements two classics from scratch:
+//!
+//! * [`HyperLogLog`] — approximate distinct counting (Flajolet et al.
+//!   2007), ~1.04/√m relative error in a few KB;
+//! * [`SpaceSaving`] — top-k heavy hitters (Metwally et al. 2005) with
+//!   deterministic error bounds.
+//!
+//! Both serialize to a compact line format so they flow through the
+//! byte-level MapReduce runtime like any other intermediate object;
+//! `astra-workloads::apps_sketch` wraps them as
+//! [`MapReduceApp`](../astra_mapreduce/trait.MapReduceApp.html)s with
+//! property tests asserting the merge laws the coordinator relies on.
+
+pub mod hash;
+pub mod hll;
+pub mod spacesaving;
+
+pub use hll::HyperLogLog;
+pub use spacesaving::SpaceSaving;

@@ -1,0 +1,281 @@
+//! SpaceSaving heavy hitters (Metwally, Agrawal, El Abbadi 2005).
+
+use std::collections::HashMap;
+
+/// A SpaceSaving summary tracking (approximately) the `capacity` most
+/// frequent items of a stream.
+///
+/// Guarantees (single summary): every item with true count > N/capacity
+/// is present, and each reported count overestimates the true count by
+/// at most the counter's recorded error. Merging (counter-wise sum, then
+/// trim to capacity) gives the weaker mergeable-summaries bound: a
+/// surviving item undercounts by at most N_total/capacity — which is
+/// what lets the reduce tree combine partial top-k tables in any shape
+/// with bounded (though not bit-identical) drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// item → (count, error). `count` includes `error`.
+    counters: HashMap<String, (u64, u64)>,
+}
+
+impl SpaceSaving {
+    /// A summary with room for `capacity` counters.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        SpaceSaving {
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Observe one occurrence of `item`.
+    pub fn insert(&mut self, item: &str) {
+        self.insert_weighted(item, 1);
+    }
+
+    /// Observe `weight` occurrences of `item`.
+    pub fn insert_weighted(&mut self, item: &str, weight: u64) {
+        if let Some((count, _)) = self.counters.get_mut(item) {
+            *count += weight;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item.to_string(), (weight, 0));
+            return;
+        }
+        // Evict the minimum counter; the newcomer inherits its count as
+        // error (the SpaceSaving replacement rule).
+        let (min_item, (min_count, _)) = self
+            .counters
+            .iter()
+            .min_by(|(ka, (ca, _)), (kb, (cb, _))| ca.cmp(cb).then_with(|| ka.cmp(kb)))
+            .map(|(k, v)| (k.clone(), *v))
+            .expect("at capacity > 0");
+        self.counters.remove(&min_item);
+        self.counters
+            .insert(item.to_string(), (min_count + weight, min_count));
+    }
+
+    /// Merge another summary into this one (counts and errors add), then
+    /// trim back to capacity keeping the largest counters.
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        for (item, &(count, error)) in &other.counters {
+            let entry = self.counters.entry(item.clone()).or_insert((0, 0));
+            entry.0 += count;
+            entry.1 += error;
+        }
+        if self.counters.len() > self.capacity {
+            let mut all: Vec<(String, (u64, u64))> = self.counters.drain().collect();
+            // Keep the largest counts; deterministic tie-break by name.
+            all.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
+            all.truncate(self.capacity);
+            self.counters = all.into_iter().collect();
+        }
+    }
+
+    /// The `k` heaviest items as `(item, count, error)`, ordered by count
+    /// descending (ties by name for determinism).
+    pub fn top(&self, k: usize) -> Vec<(String, u64, u64)> {
+        let mut all: Vec<(String, u64, u64)> = self
+            .counters
+            .iter()
+            .map(|(item, &(c, e))| (item.clone(), c, e))
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Number of live counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Serialize as `capacity` then one `item\tcount\terror` line each,
+    /// sorted for determinism.
+    pub fn to_lines(&self) -> String {
+        let mut out = format!("capacity\t{}\n", self.capacity);
+        for (item, count, error) in self.top(self.counters.len()) {
+            out.push_str(&format!("{item}\t{count}\t{error}\n"));
+        }
+        out
+    }
+
+    /// Parse the [`to_lines`](Self::to_lines) format.
+    pub fn from_lines(text: &str) -> Option<SpaceSaving> {
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let capacity: usize = header.strip_prefix("capacity\t")?.parse().ok()?;
+        let mut out = SpaceSaving::new(capacity);
+        for line in lines {
+            let mut cols = line.split('\t');
+            let item = cols.next()?;
+            let count: u64 = cols.next()?.parse().ok()?;
+            let error: u64 = cols.next()?.parse().ok()?;
+            out.counters.insert(item.to_string(), (count, error));
+        }
+        (out.counters.len() <= capacity).then_some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut s = SpaceSaving::new(10);
+        for _ in 0..5 {
+            s.insert("a");
+        }
+        for _ in 0..3 {
+            s.insert("b");
+        }
+        s.insert("c");
+        assert_eq!(
+            s.top(3),
+            vec![
+                ("a".to_string(), 5, 0),
+                ("b".to_string(), 3, 0),
+                ("c".to_string(), 1, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn heavy_hitters_survive_eviction() {
+        // Zipf-ish stream: "hot" appears far more than capacity admits
+        // losing.
+        let mut s = SpaceSaving::new(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut true_hot = 0u64;
+        for _ in 0..10_000 {
+            if rng.random::<f64>() < 0.3 {
+                s.insert("hot");
+                true_hot += 1;
+            } else {
+                let cold = format!("cold{}", rng.random_range(0..500u32));
+                s.insert(&cold);
+            }
+        }
+        let top = s.top(1);
+        assert_eq!(top[0].0, "hot");
+        // Overestimate bounded by recorded error.
+        assert!(top[0].1 >= true_hot);
+        assert!(top[0].1 - top[0].2 <= true_hot);
+    }
+
+    #[test]
+    fn count_bounds_hold() {
+        // count - error <= true <= count, for every surviving counter.
+        let mut s = SpaceSaving::new(4);
+        let stream = ["a", "b", "a", "c", "d", "e", "a", "f", "b", "a"];
+        let mut truth: HashMap<&str, u64> = HashMap::new();
+        for item in stream {
+            s.insert(item);
+            *truth.entry(item).or_default() += 1;
+        }
+        for (item, count, error) in s.top(4) {
+            let t = truth[item.as_str()];
+            assert!(count >= t, "{item}: count {count} < true {t}");
+            assert!(count - error <= t, "{item}: lower bound violated");
+        }
+    }
+
+    #[test]
+    fn merge_preserves_totals_for_hot_items() {
+        let mut a = SpaceSaving::new(16);
+        let mut b = SpaceSaving::new(16);
+        for _ in 0..100 {
+            a.insert("x");
+            b.insert("x");
+            b.insert("y");
+        }
+        a.merge(&b);
+        let top = a.top(2);
+        assert_eq!(top[0], ("x".to_string(), 200, 0));
+        assert_eq!(top[1], ("y".to_string(), 100, 0));
+    }
+
+    #[test]
+    fn merge_trims_to_capacity() {
+        let mut a = SpaceSaving::new(3);
+        let mut b = SpaceSaving::new(3);
+        for item in ["a", "b", "c"] {
+            a.insert(item);
+        }
+        for item in ["d", "e", "f"] {
+            b.insert(item);
+            b.insert(item);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        // The doubled items win.
+        let names: Vec<String> = a.top(3).into_iter().map(|(n, _, _)| n).collect();
+        assert_eq!(names, vec!["d", "e", "f"]);
+    }
+
+    #[test]
+    fn lines_roundtrip() {
+        let mut s = SpaceSaving::new(5);
+        for item in ["a", "b", "a", "c", "a"] {
+            s.insert(item);
+        }
+        let text = s.to_lines();
+        let parsed = SpaceSaving::from_lines(&text).unwrap();
+        assert_eq!(parsed, s);
+        assert!(SpaceSaving::from_lines("nonsense").is_none());
+    }
+
+    proptest! {
+        /// The mergeable-summaries bound (Agarwal et al. 2012): after a
+        /// merge, a surviving item's count can undercount its true
+        /// frequency by at most (N_a + N_b) / capacity — occurrences it
+        /// lost to eviction on either side. (The single-summary
+        /// "count >= true" guarantee does NOT survive merging; this
+        /// weaker bound is what the top-k MapReduce app relies on.)
+        #[test]
+        fn merged_counts_obey_the_mergeable_bound(
+            xs in proptest::collection::vec(0u32..20, 1..200),
+            ys in proptest::collection::vec(0u32..20, 1..200),
+        ) {
+            let cap = 8u64;
+            let mut truth: HashMap<String, u64> = HashMap::new();
+            let mut a = SpaceSaving::new(cap as usize);
+            for x in &xs {
+                let item = format!("i{x}");
+                a.insert(&item);
+                *truth.entry(item).or_default() += 1;
+            }
+            let mut b = SpaceSaving::new(cap as usize);
+            for y in &ys {
+                let item = format!("i{y}");
+                b.insert(&item);
+                *truth.entry(item).or_default() += 1;
+            }
+            a.merge(&b);
+            let slack = (xs.len() as u64 + ys.len() as u64) / cap;
+            for (item, count, _) in a.top(cap as usize) {
+                prop_assert!(
+                    count + slack >= truth[&item],
+                    "{item}: count {count} + slack {slack} < true {}",
+                    truth[&item]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! S3-like object storage substrate.
+//!
+//! Serverless MapReduce (paper Fig. 4) exchanges *all* intermediate data
+//! through an object store, so this crate provides both halves of our S3
+//! substitution:
+//!
+//! * [`MemStore`] — a real, thread-safe, in-memory object store holding
+//!   actual bytes. The byte-level MapReduce runtime in `astra-mapreduce`
+//!   runs against it to validate that the orchestration produces correct
+//!   analytics results (wordcount counts, sort orders, query aggregates).
+//! * [`TransferModel`] — the timing model for simulated GET/PUT requests:
+//!   per-request latency plus size/bandwidth transfer time, exactly the
+//!   `(d + e)/B` terms of the paper's Eq. 4.
+//! * [`StorageLedger`] — request and byte-time accounting that turns a
+//!   simulated run into an S3 bill via `astra-pricing` (Eq. 10–11).
+
+pub mod ledger;
+pub mod mem;
+pub mod model;
+
+pub use ledger::{LedgerSnapshot, StorageLedger};
+pub use mem::MemStore;
+pub use model::TransferModel;
+
+/// Convert bytes to megabytes (the paper works in MB throughout).
+pub fn bytes_to_mb(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Convert megabytes to bytes, rounding to the nearest byte.
+pub fn mb_to_bytes(mb: f64) -> u64 {
+    (mb * 1024.0 * 1024.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mb_byte_roundtrip() {
+        assert_eq!(bytes_to_mb(mb_to_bytes(2.5)), 2.5);
+        assert_eq!(mb_to_bytes(1.0), 1_048_576);
+    }
+}

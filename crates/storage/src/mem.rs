@@ -1,0 +1,208 @@
+//! A real, thread-safe, in-memory object store.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+/// Errors returned by [`MemStore`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The requested key does not exist.
+    NotFound(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound(k) => write!(f, "object not found: {k}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// An in-memory S3 stand-in holding real bytes.
+///
+/// Keys are flat strings (S3 has no directories either); `list_prefix`
+/// provides the prefix listing the coordinator uses to discover mapper
+/// output. GET/PUT counters mirror what S3 would bill, letting the
+/// byte-level runtime cross-check the request counts predicted by the
+/// analytical model (Eq. 10).
+#[derive(Debug, Default)]
+pub struct MemStore {
+    objects: RwLock<BTreeMap<String, Bytes>>,
+    gets: AtomicU64,
+    puts: AtomicU64,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store `data` under `key`, overwriting any existing object.
+    pub fn put(&self, key: impl Into<String>, data: impl Into<Bytes>) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.objects.write().insert(key.into(), data.into());
+    }
+
+    /// Fetch the object at `key`.
+    pub fn get(&self, key: &str) -> Result<Bytes, StoreError> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(key.to_string()))
+    }
+
+    /// Remove the object at `key`.
+    pub fn delete(&self, key: &str) -> Result<(), StoreError> {
+        self.objects
+            .write()
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::NotFound(key.to_string()))
+    }
+
+    /// True if `key` exists (not billed as a GET).
+    pub fn contains(&self, key: &str) -> bool {
+        self.objects.read().contains_key(key)
+    }
+
+    /// Size in bytes of the object at `key`.
+    pub fn size_of(&self, key: &str) -> Result<u64, StoreError> {
+        self.objects
+            .read()
+            .get(key)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| StoreError::NotFound(key.to_string()))
+    }
+
+    /// Keys starting with `prefix`, in lexicographic order.
+    pub fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        self.objects
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(|b| b.len() as u64).sum()
+    }
+
+    /// GET requests served so far.
+    pub fn get_count(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+
+    /// PUT requests served so far.
+    pub fn put_count(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = MemStore::new();
+        store.put("a/1", &b"hello"[..]);
+        assert_eq!(store.get("a/1").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(store.size_of("a/1").unwrap(), 5);
+    }
+
+    #[test]
+    fn missing_key_is_not_found() {
+        let store = MemStore::new();
+        assert_eq!(
+            store.get("nope"),
+            Err(StoreError::NotFound("nope".to_string()))
+        );
+        assert!(store.delete("nope").is_err());
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let store = MemStore::new();
+        store.put("k", &b"v1"[..]);
+        store.put("k", &b"v2"[..]);
+        assert_eq!(store.get("k").unwrap(), Bytes::from_static(b"v2"));
+        assert_eq!(store.object_count(), 1);
+    }
+
+    #[test]
+    fn prefix_listing_is_sorted_and_scoped() {
+        let store = MemStore::new();
+        store.put("map/2", &b""[..]);
+        store.put("map/10", &b""[..]);
+        store.put("reduce/1", &b""[..]);
+        store.put("map/1", &b""[..]);
+        assert_eq!(store.list_prefix("map/"), vec!["map/1", "map/10", "map/2"]);
+        assert_eq!(store.list_prefix("zzz"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn request_counters_track_operations() {
+        let store = MemStore::new();
+        store.put("a", &b"x"[..]);
+        store.put("b", &b"y"[..]);
+        let _ = store.get("a");
+        let _ = store.get("a");
+        let _ = store.get("missing");
+        assert_eq!(store.put_count(), 2);
+        assert_eq!(store.get_count(), 3);
+    }
+
+    #[test]
+    fn delete_removes_object() {
+        let store = MemStore::new();
+        store.put("k", &b"v"[..]);
+        store.delete("k").unwrap();
+        assert!(!store.contains("k"));
+        assert_eq!(store.object_count(), 0);
+    }
+
+    #[test]
+    fn total_bytes_sums_sizes() {
+        let store = MemStore::new();
+        store.put("a", vec![0u8; 100]);
+        store.put("b", vec![0u8; 23]);
+        assert_eq!(store.total_bytes(), 123);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let store = Arc::new(MemStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    s.put(format!("t{t}/obj{i}"), vec![t as u8; 64]);
+                    let _ = s.get(&format!("t{t}/obj{i}"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.object_count(), 800);
+        assert_eq!(store.put_count(), 800);
+        assert_eq!(store.get_count(), 800);
+    }
+}

@@ -1,0 +1,242 @@
+//! Sketch-based analytics apps — the "convertible to the MapReduce form"
+//! workloads the paper's Discussion gestures at.
+//!
+//! Both apps emit a *sketch* as their intermediate representation, so the
+//! shuffle volume is constant in the input size (kilobytes per mapper)
+//! and the reduce merge is associative by construction — ideal shape for
+//! the serverless framework, and a very different profile from
+//! Wordcount/Sort/Query.
+
+use astra_mapreduce::MapReduceApp;
+use astra_sketch::{HyperLogLog, SpaceSaving};
+use bytes::Bytes;
+
+/// Approximate COUNT(DISTINCT sourceIP) over uservisits rows, via
+/// HyperLogLog.
+#[derive(Debug)]
+pub struct DistinctUsersApp {
+    precision: u8,
+}
+
+impl Default for DistinctUsersApp {
+    fn default() -> Self {
+        DistinctUsersApp { precision: 12 }
+    }
+}
+
+impl DistinctUsersApp {
+    /// Use a custom HLL precision (4..=16).
+    pub fn with_precision(precision: u8) -> Self {
+        DistinctUsersApp { precision }
+    }
+
+    /// Parse a serialized sketch back out of a result object.
+    pub fn parse_result(bytes: &[u8]) -> Option<HyperLogLog> {
+        HyperLogLog::from_line(std::str::from_utf8(bytes).ok()?.trim())
+    }
+
+    /// Exact reference count of distinct sourceIPs.
+    pub fn reference_distinct(csv: &[u8]) -> usize {
+        let text = std::str::from_utf8(csv).expect("UTF-8 CSV");
+        let mut set = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(ip) = line.split(',').next() {
+                set.insert(ip.to_string());
+            }
+        }
+        set.len()
+    }
+}
+
+impl MapReduceApp for DistinctUsersApp {
+    fn name(&self) -> &str {
+        "distinct-users"
+    }
+
+    fn map(&self, input: &[u8]) -> Vec<u8> {
+        let text = std::str::from_utf8(input).expect("UTF-8 CSV");
+        let mut sketch = HyperLogLog::new(self.precision);
+        for line in text.lines() {
+            if let Some(ip) = line.split(',').next() {
+                sketch.insert(ip.as_bytes());
+            }
+        }
+        sketch.to_line().into_bytes()
+    }
+
+    fn reduce(&self, inputs: &[Bytes]) -> Vec<u8> {
+        let mut merged = HyperLogLog::new(self.precision);
+        for input in inputs {
+            let line = std::str::from_utf8(input).expect("UTF-8 sketch");
+            let sketch = HyperLogLog::from_line(line.trim()).expect("valid sketch");
+            merged.merge(&sketch);
+        }
+        merged.to_line().into_bytes()
+    }
+}
+
+/// Approximate top-k destination URLs by visit count, via SpaceSaving.
+#[derive(Debug)]
+pub struct TopUrlsApp {
+    capacity: usize,
+}
+
+impl Default for TopUrlsApp {
+    fn default() -> Self {
+        TopUrlsApp { capacity: 64 }
+    }
+}
+
+impl TopUrlsApp {
+    /// Use a custom counter capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TopUrlsApp { capacity }
+    }
+
+    /// Parse a serialized summary back out of a result object.
+    pub fn parse_result(bytes: &[u8]) -> Option<SpaceSaving> {
+        SpaceSaving::from_lines(std::str::from_utf8(bytes).ok()?)
+    }
+
+    /// Exact reference counts per URL.
+    pub fn reference_counts(csv: &[u8]) -> std::collections::HashMap<String, u64> {
+        let text = std::str::from_utf8(csv).expect("UTF-8 CSV");
+        let mut out = std::collections::HashMap::new();
+        for line in text.lines() {
+            if let Some(url) = line.split(',').nth(1) {
+                *out.entry(url.to_string()).or_default() += 1;
+            }
+        }
+        out
+    }
+}
+
+impl MapReduceApp for TopUrlsApp {
+    fn name(&self) -> &str {
+        "top-urls"
+    }
+
+    fn map(&self, input: &[u8]) -> Vec<u8> {
+        let text = std::str::from_utf8(input).expect("UTF-8 CSV");
+        let mut summary = SpaceSaving::new(self.capacity);
+        for line in text.lines() {
+            if let Some(url) = line.split(',').nth(1) {
+                summary.insert(url);
+            }
+        }
+        summary.to_lines().into_bytes()
+    }
+
+    fn reduce(&self, inputs: &[Bytes]) -> Vec<u8> {
+        let mut merged = SpaceSaving::new(self.capacity);
+        for input in inputs {
+            let text = std::str::from_utf8(input).expect("UTF-8 summary");
+            let summary = SpaceSaving::from_lines(text).expect("valid summary");
+            merged.merge(&summary);
+        }
+        merged.to_lines().into_bytes()
+    }
+}
+
+/// A model profile for sketch workloads: scan-dominated map, near-zero
+/// shuffle (a sketch is a few KB whatever the input), trivial reduce.
+pub fn sketch_profile(name: &str) -> astra_model::WorkloadProfile {
+    astra_model::WorkloadProfile {
+        name: name.to_string(),
+        map_secs_per_mb_128: 0.4,
+        reduce_secs_per_mb_128: 0.2,
+        coord_secs_per_mb_128: 0.001,
+        shuffle_ratio: 0.001,
+        reduce_ratio: 1.0,
+        state_object_mb: 1.0,
+        single_pass_reduce: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen;
+    use astra_simcore::summary::relative_error;
+
+    fn csv(seed: u64) -> Vec<u8> {
+        datagen::uservisits(seed, 80_000)
+    }
+
+    #[test]
+    fn distinct_users_single_mapper_is_accurate() {
+        let data = csv(1);
+        let app = DistinctUsersApp::default();
+        let mapped = app.map(&data);
+        let sketch = DistinctUsersApp::parse_result(&mapped).unwrap();
+        let truth = DistinctUsersApp::reference_distinct(&data) as f64;
+        let err = relative_error(sketch.estimate(), truth);
+        assert!(err < 0.08, "estimate {} truth {truth}", sketch.estimate());
+    }
+
+    #[test]
+    fn distinct_users_distributed_matches_union() {
+        let app = DistinctUsersApp::default();
+        let parts: Vec<Bytes> = (0..4).map(|i| Bytes::from(app.map(&csv(i)))).collect();
+        let merged = app.reduce(&parts);
+        let sketch = DistinctUsersApp::parse_result(&merged).unwrap();
+        let mut all = Vec::new();
+        for i in 0..4 {
+            all.extend_from_slice(&csv(i));
+        }
+        let truth = DistinctUsersApp::reference_distinct(&all) as f64;
+        let err = relative_error(sketch.estimate(), truth);
+        assert!(err < 0.08, "estimate {} truth {truth}", sketch.estimate());
+    }
+
+    #[test]
+    fn distinct_users_reduce_is_tree_shape_invariant() {
+        let app = DistinctUsersApp::default();
+        let parts: Vec<Bytes> = (0..4).map(|i| Bytes::from(app.map(&csv(i)))).collect();
+        let flat = app.reduce(&parts);
+        let nested = app.reduce(&[
+            Bytes::from(app.reduce(&parts[..2])),
+            Bytes::from(app.reduce(&parts[2..])),
+        ]);
+        assert_eq!(flat, nested, "HLL merge is exactly associative");
+    }
+
+    #[test]
+    fn top_urls_finds_the_hot_url() {
+        // Inject a dominant URL into generated traffic.
+        let mut data = csv(5);
+        for _ in 0..2_000 {
+            data.extend_from_slice(
+                b"1.2.3.4,hot.example.com/front,2019-01-01,1.00,agent0,US,en,word1,10\n",
+            );
+        }
+        let app = TopUrlsApp::default();
+        let merged = app.reduce(&[Bytes::from(app.map(&data))]);
+        let summary = TopUrlsApp::parse_result(&merged).unwrap();
+        let top = summary.top(1);
+        assert_eq!(top[0].0, "hot.example.com/front");
+        assert!(top[0].1 >= 2_000);
+    }
+
+    #[test]
+    fn sketch_shuffle_is_tiny() {
+        // The profile claim: mapper output is KBs regardless of input MBs.
+        let data = csv(2);
+        let app = DistinctUsersApp::default();
+        let out = app.map(&data);
+        assert!(out.len() < 10_000, "sketch is {} bytes", out.len());
+        assert!(data.len() > 50_000);
+    }
+
+    #[test]
+    fn sketch_profile_validates_and_plans() {
+        use astra_core::{Astra, Objective};
+        let profile = sketch_profile("distinct-users");
+        profile.validate();
+        let job = astra_model::JobSpec::uniform("sketchy", 50, 100.0, profile);
+        let plan = Astra::with_defaults()
+            .plan(&job, Objective::fastest())
+            .unwrap();
+        assert!(plan.mappers() >= 1);
+    }
+}

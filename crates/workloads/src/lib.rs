@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! The paper's three evaluation workloads — Wordcount, Sort, and the
+//! aggregation Query over the uservisits dataset — as (a) calibrated
+//! model profiles at paper scale for the simulator, and (b) real
+//! byte-level applications with seeded synthetic data generators for
+//! correctness validation.
+//!
+//! ## Substitution note (see DESIGN.md)
+//!
+//! The paper uses the AMPLab big-data-benchmark `uservisits` dataset
+//! (25.4 GB, 155 M rows) and unspecified Wordcount/Sort corpora. We
+//! generate synthetic equivalents with the same schema, record widths and
+//! object layout; the planner and all timing experiments depend only on
+//! object counts/sizes and per-byte compute intensities, which the
+//! [`profiles`] module calibrates per workload. Byte-level runs validate
+//! analytics *correctness* at MB scale; GB-scale runs happen on the
+//! simulator where objects are sizes.
+
+pub mod apps;
+pub mod apps_sketch;
+pub mod datagen;
+pub mod profiler;
+pub mod profiles;
+pub mod spec;
+
+pub use apps::{QueryApp, SortApp, WordCountApp};
+pub use apps_sketch::{DistinctUsersApp, TopUrlsApp};
+pub use profiler::{profile_app, ProfileMeasurement, ProfilerConfig};
+pub use spec::WorkloadSpec;

@@ -1,0 +1,199 @@
+//! Paper-scale workload specifications and their byte-level twins.
+
+use std::sync::Arc;
+
+use astra_mapreduce::{keys, MapReduceApp};
+use astra_model::{JobSpec, WorkloadProfile};
+use astra_storage::MemStore;
+
+use crate::apps::{QueryApp, SortApp, WordCountApp};
+use crate::datagen;
+use crate::profiles;
+
+/// One of the paper's evaluation workloads at its paper-reported scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadSpec {
+    /// Wordcount with 1, 10 or 20 GB of text (other sizes allowed; the
+    /// object layout then defaults to 512 MB objects).
+    Wordcount {
+        /// Input size in GB.
+        gb: u32,
+    },
+    /// Sort with 100 GB in 200 objects of 500 MB (Sec. V: "each of the
+    /// 200 objects is as large as 500 MB").
+    Sort100,
+    /// The aggregation query over uservisits: 25.4 GB in 202 objects
+    /// (Sec. V: "stored in S3 as 202 objects").
+    QueryUservisits,
+}
+
+impl WorkloadSpec {
+    /// Shorthand for `Wordcount { gb }`.
+    pub fn wordcount_gb(gb: u32) -> Self {
+        WorkloadSpec::Wordcount { gb }
+    }
+
+    /// All five workloads of Fig. 7/8, in paper order.
+    pub fn paper_suite() -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec::Wordcount { gb: 1 },
+            WorkloadSpec::Wordcount { gb: 10 },
+            WorkloadSpec::Wordcount { gb: 20 },
+            WorkloadSpec::Sort100,
+            WorkloadSpec::QueryUservisits,
+        ]
+    }
+
+    /// Display name matching the paper's figure labels.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Wordcount { gb } => format!("Wordcount ({gb}GB)"),
+            WorkloadSpec::Sort100 => "Sort (100GB)".to_string(),
+            WorkloadSpec::QueryUservisits => "Query (25.4GB)".to_string(),
+        }
+    }
+
+    /// The calibrated model profile.
+    pub fn profile(&self) -> WorkloadProfile {
+        match self {
+            WorkloadSpec::Wordcount { .. } => profiles::wordcount(),
+            WorkloadSpec::Sort100 => profiles::sort(),
+            WorkloadSpec::QueryUservisits => profiles::query(),
+        }
+    }
+
+    /// The paper-scale job: object counts/sizes chosen to reproduce the
+    /// layouts Table III implies (e.g. WC 1 GB has 20 objects so that
+    /// `k_M = 2` yields the reported 10 mappers).
+    pub fn into_job(self) -> JobSpec {
+        let profile = self.profile();
+        match self {
+            WorkloadSpec::Wordcount { gb } => {
+                let (n, size_mb) = match gb {
+                    1 => (20, 51.2),
+                    10 => (24, 10.0 * 1024.0 / 24.0),
+                    20 => (40, 512.0),
+                    other => ((other as usize * 2).max(1), 512.0),
+                };
+                JobSpec::uniform(format!("wordcount-{gb}gb"), n, size_mb, profile)
+            }
+            WorkloadSpec::Sort100 => JobSpec::uniform("sort-100gb", 200, 500.0, profile),
+            WorkloadSpec::QueryUservisits => {
+                JobSpec::uniform("query-uservisits", 202, 25.4 * 1024.0 / 202.0, profile)
+            }
+        }
+    }
+
+    /// A miniature job with the same profile for byte-level validation:
+    /// `n` objects of `object_kb` KB of real generated data.
+    pub fn tiny_job(&self, n: usize, object_kb: usize) -> JobSpec {
+        JobSpec::uniform(
+            format!("tiny-{}", self.profile().name),
+            n,
+            object_kb as f64 / 1024.0,
+            self.profile(),
+        )
+    }
+
+    /// The byte-level application.
+    pub fn app(&self) -> Box<dyn MapReduceApp> {
+        match self {
+            WorkloadSpec::Wordcount { .. } => Box::new(WordCountApp),
+            WorkloadSpec::Sort100 => Box::new(SortApp::default()),
+            WorkloadSpec::QueryUservisits => Box::new(QueryApp),
+        }
+    }
+
+    /// Generate seeded input data for `job` into `store` (byte-level runs
+    /// only). Returns the total bytes written.
+    pub fn generate_inputs(&self, job: &JobSpec, store: &Arc<MemStore>, seed: u64) -> usize {
+        let mut total = 0;
+        for (i, &size_mb) in job.object_sizes_mb.iter().enumerate() {
+            let target = (size_mb * 1024.0 * 1024.0) as usize;
+            let data = match self {
+                WorkloadSpec::Wordcount { .. } => {
+                    datagen::zipf_text(seed + i as u64, target, 5_000)
+                }
+                WorkloadSpec::Sort100 => {
+                    let n = (target / datagen::SORT_RECORD_LEN).max(1);
+                    datagen::sort_records(seed + i as u64, n)
+                }
+                WorkloadSpec::QueryUservisits => datagen::uservisits(seed + i as u64, target),
+            };
+            total += data.len();
+            store.put(keys::input(&job.name, i), data);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_layouts_match_table_iii_arithmetic() {
+        let wc1 = WorkloadSpec::wordcount_gb(1).into_job();
+        assert_eq!(wc1.num_objects(), 20);
+        assert!((wc1.total_mb() - 1024.0).abs() < 1.0);
+        // k_M = 2 -> 10 mappers, as Table III reports.
+        assert_eq!(wc1.num_objects().div_ceil(2), 10);
+
+        let wc10 = WorkloadSpec::wordcount_gb(10).into_job();
+        assert_eq!(wc10.num_objects(), 24);
+        // k_M = 8 -> 3 mappers.
+        assert_eq!(wc10.num_objects().div_ceil(8), 3);
+
+        let wc20 = WorkloadSpec::wordcount_gb(20).into_job();
+        assert_eq!(wc20.num_objects(), 40);
+        // k_M = 4 -> 10 mappers.
+        assert_eq!(wc20.num_objects().div_ceil(4), 10);
+
+        let sort = WorkloadSpec::Sort100.into_job();
+        assert_eq!(sort.num_objects(), 200);
+        assert_eq!(sort.object_sizes_mb[0], 500.0);
+        // k_M = 4 -> 50 mappers; k_R = 8 -> 7 reducers in 1 step.
+        assert_eq!(sort.num_objects().div_ceil(4), 50);
+        assert_eq!(50usize.div_ceil(8), 7);
+
+        let query = WorkloadSpec::QueryUservisits.into_job();
+        assert_eq!(query.num_objects(), 202);
+        assert!((query.total_mb() - 25.4 * 1024.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn labels_match_paper_axis_names() {
+        assert_eq!(WorkloadSpec::wordcount_gb(10).label(), "Wordcount (10GB)");
+        assert_eq!(WorkloadSpec::Sort100.label(), "Sort (100GB)");
+        assert_eq!(WorkloadSpec::QueryUservisits.label(), "Query (25.4GB)");
+    }
+
+    #[test]
+    fn paper_suite_has_five_workloads() {
+        assert_eq!(WorkloadSpec::paper_suite().len(), 5);
+    }
+
+    #[test]
+    fn tiny_inputs_generate_expected_sizes() {
+        let spec = WorkloadSpec::wordcount_gb(1);
+        let job = spec.tiny_job(4, 16);
+        let store = Arc::new(MemStore::new());
+        let written = spec.generate_inputs(&job, &store, 42);
+        assert_eq!(store.object_count(), 4);
+        // Each object is ~16 KB (generators overshoot by <1 word/record).
+        assert!(written >= 4 * 16 * 1024);
+        assert!(written < 4 * 17 * 1024 + 512);
+    }
+
+    #[test]
+    fn sort_tiny_inputs_are_whole_records() {
+        let spec = WorkloadSpec::Sort100;
+        let job = spec.tiny_job(2, 10);
+        let store = Arc::new(MemStore::new());
+        spec.generate_inputs(&job, &store, 1);
+        for i in 0..2 {
+            let data = store.get(&keys::input(&job.name, i)).unwrap();
+            assert_eq!(data.len() % datagen::SORT_RECORD_LEN, 0);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Sweep the budget knob and watch Astra walk the cost–performance
+//! Pareto frontier for the Query benchmark (the tradeoff of Fig. 7/8).
+//!
+//! ```text
+//! cargo run --release --example budget_sweep
+//! ```
+
+use astra::core::{Astra, Objective};
+use astra::pricing::Money;
+use astra::workloads::WorkloadSpec;
+
+fn main() {
+    let job = WorkloadSpec::QueryUservisits.into_job();
+    let astra = Astra::with_defaults();
+
+    let cheapest = astra.plan(&job, Objective::cheapest()).unwrap();
+    let fastest = astra.plan(&job, Objective::fastest()).unwrap();
+    println!(
+        "Query (25.4 GB): cheapest = {:.1}s @ {}, fastest = {:.1}s @ {}\n",
+        cheapest.predicted_jct_s(),
+        cheapest.predicted_cost(),
+        fastest.predicted_jct_s(),
+        fastest.predicted_cost(),
+    );
+
+    println!(
+        "{:>10}  {:>9}  {:>12}  {:>28}",
+        "budget", "JCT (s)", "spend", "memory map/coord/reduce + k"
+    );
+    let lo = cheapest.predicted_cost().nanos();
+    let hi = fastest.predicted_cost().nanos();
+    for step in 0..=10 {
+        let budget = Money::from_nanos(lo + (hi - lo) * step / 10);
+        match astra.plan(&job, Objective::MinimizeTime { budget }) {
+            Ok(plan) => println!(
+                "{:>10}  {:>9.1}  {:>12}  {:>14}/{}/{} k_M={} k_R={:?}",
+                budget.to_string(),
+                plan.predicted_jct_s(),
+                plan.predicted_cost().to_string(),
+                plan.spec.mapper_mem_mb,
+                plan.spec.coordinator_mem_mb,
+                plan.spec.reducer_mem_mb,
+                plan.spec.objects_per_mapper,
+                plan.spec.reduce_spec,
+            ),
+            Err(e) => println!("{:>10}  infeasible ({e})", budget.to_string()),
+        }
+    }
+    println!("\nMore budget buys more parallelism and bigger memory — monotonically faster plans.");
+}

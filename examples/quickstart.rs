@@ -1,0 +1,50 @@
+//! Quickstart: plan a serverless analytics job with Astra.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Submits the paper's Wordcount-1GB benchmark with two different user
+//! requirements — a budget and a deadline — and prints the execution
+//! plans Astra derives, exactly the workflow of the paper's Sec. V.
+
+use astra::core::{Astra, Objective};
+use astra::workloads::WorkloadSpec;
+
+fn main() {
+    // 1. Describe the job: 1 GB of text in 20 S3 objects, with the
+    //    calibrated Wordcount profile.
+    let job = WorkloadSpec::wordcount_gb(1).into_job();
+    println!(
+        "Job: {} — {} objects, {:.1} MB total\n",
+        job.name,
+        job.num_objects(),
+        job.total_mb()
+    );
+
+    // 2. Create the planner (AWS Lambda platform, 2020 prices, exact
+    //    constrained-shortest-path solver).
+    let astra = Astra::with_defaults();
+
+    // 3a. "Best possible performance with a limited budget" (Eq. 16).
+    let budget_plan = astra
+        .plan(&job, Objective::min_time_with_budget_dollars(0.004))
+        .expect("a $0.004 budget is feasible for this job");
+    println!("Under a $0.004 budget (minimize completion time):");
+    println!("  {}", budget_plan.summary());
+
+    // 3b. "Minimize cost without violating the QoS objective" (Eq. 20).
+    let qos_plan = astra
+        .plan(&job, Objective::min_cost_with_deadline_s(60.0))
+        .expect("a 60 s deadline is feasible for this job");
+    println!("\nUnder a 60 s completion-time threshold (minimize cost):");
+    println!("  {}", qos_plan.summary());
+
+    // 4. The tradeoff Astra navigates:
+    println!(
+        "\nTradeoff: the budget plan is {:.1}x faster; the QoS plan is {:.1}% cheaper.",
+        qos_plan.predicted_jct_s() / budget_plan.predicted_jct_s(),
+        (1.0 - qos_plan.predicted_cost().dollars() / budget_plan.predicted_cost().dollars())
+            * 100.0
+    );
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Facade crate for the Astra reproduction.
+//!
+//! Re-exports every sub-crate under one roof so downstream users can depend
+//! on a single `astra` crate:
+//!
+//! ```
+//! use astra::core::{Astra, Objective};
+//! use astra::workloads::WorkloadSpec;
+//!
+//! let job = WorkloadSpec::wordcount_gb(1).into_job();
+//! let planner = Astra::with_defaults();
+//! let plan = planner
+//!     .plan(&job, Objective::min_time_with_budget_dollars(1.0))
+//!     .expect("feasible plan");
+//! assert!(plan.mappers() >= 1);
+//! ```
+
+pub use astra_baselines as baselines;
+pub use astra_core as core;
+pub use astra_faas as faas;
+pub use astra_graph as graph;
+pub use astra_mapreduce as mapreduce;
+pub use astra_model as model;
+pub use astra_pricing as pricing;
+pub use astra_simcore as simcore;
+pub use astra_storage as storage;
+pub use astra_workloads as workloads;

@@ -1,0 +1,80 @@
+//! Reproducibility: every layer of the stack is bit-deterministic under a
+//! fixed seed — the property that makes EXPERIMENTS.md's numbers
+//! regenerable.
+
+use astra::core::{Astra, Objective};
+use astra::faas::SimConfig;
+use astra::mapreduce::simulate;
+use astra::model::Platform;
+use astra::workloads::WorkloadSpec;
+
+#[test]
+fn planner_is_deterministic() {
+    let job = WorkloadSpec::wordcount_gb(1).into_job();
+    let a = Astra::with_defaults()
+        .plan(&job, Objective::min_time_with_budget_dollars(0.004))
+        .unwrap();
+    let b = Astra::with_defaults()
+        .plan(&job, Objective::min_time_with_budget_dollars(0.004))
+        .unwrap();
+    assert_eq!(a.spec, b.spec);
+    assert_eq!(a.predicted_cost(), b.predicted_cost());
+}
+
+#[test]
+fn noisy_simulation_is_seed_deterministic() {
+    let job = WorkloadSpec::QueryUservisits.into_job();
+    let plan = Astra::with_defaults()
+        .plan(&job, Objective::fastest())
+        .unwrap();
+    let config = || SimConfig::deterministic(Platform::aws_lambda()).with_noise(0.25, 1234);
+    let a = simulate(&job, &plan, config()).unwrap();
+    let b = simulate(&job, &plan, config()).unwrap();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.total_cost(), b.total_cost());
+    assert_eq!(a.invoices.len(), b.invoices.len());
+    for (x, y) in a.invoices.iter().zip(&b.invoices) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.billed_us, y.billed_us);
+    }
+}
+
+#[test]
+fn different_seeds_differ_same_mean_behaviour() {
+    let job = WorkloadSpec::wordcount_gb(1).into_job();
+    let plan = Astra::with_defaults()
+        .plan(&job, Objective::fastest())
+        .unwrap();
+    let run = |seed| {
+        simulate(
+            &job,
+            &plan,
+            SimConfig::deterministic(Platform::aws_lambda()).with_noise(0.2, seed),
+        )
+        .unwrap()
+        .jct_s()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(a, b, "different seeds must perturb differently");
+    // But both stay within a plausible band around the prediction.
+    for v in [a, b] {
+        assert!(v > plan.predicted_jct_s() * 0.6 && v < plan.predicted_jct_s() * 2.5);
+    }
+}
+
+#[test]
+fn data_generation_is_seed_deterministic() {
+    use astra::storage::MemStore;
+    use std::sync::Arc;
+    let spec = WorkloadSpec::Sort100;
+    let job = spec.tiny_job(3, 8);
+    let s1 = Arc::new(MemStore::new());
+    let s2 = Arc::new(MemStore::new());
+    spec.generate_inputs(&job, &s1, 99);
+    spec.generate_inputs(&job, &s2, 99);
+    for i in 0..3 {
+        let k = astra::mapreduce::keys::input(&job.name, i);
+        assert_eq!(s1.get(&k).unwrap(), s2.get(&k).unwrap());
+    }
+}
