@@ -1,0 +1,283 @@
+//! Fixed-size planner benchmark runner with a regression gate.
+//!
+//! Unlike the Criterion benches (exploratory, human-read), this runner
+//! executes a pinned set of planner benchmarks — DAG construction
+//! (serial and parallel), the ExactCsp solve, and the exhaustive sweep
+//! (serial and parallel) — at fixed sizes including the paper-scale
+//! N=202 / L=46 case, and emits a machine-readable `BENCH_planner.json`.
+//!
+//! ```text
+//! astra-bench [--out FILE]          write results (default BENCH_planner.json)
+//!             [--check BASELINE]    compare against a baseline instead; exit 1
+//!                                   if any shared metric regressed > tolerance
+//!             [--tolerance FRAC]    allowed relative slowdown (default 0.20)
+//!             [--sizes tiny|full]   tiny = N=10 only (CI); full = 10/50/202
+//!             [--samples N]         timed samples per bench (default 5)
+//!             [--threads N]         pin the planner thread count
+//! ```
+//!
+//! Regression checks compare `min_ms` (the most noise-robust statistic a
+//! small sample offers) for every bench name present in both files.
+
+use std::time::Instant;
+
+use astra_bench::{binding_budget, full_space, planner, synthetic_job};
+use astra_core::solver::{solve_exhaustive, solve_exhaustive_serial, solve_on_dag};
+use astra_core::{ConfigSpace, PlannerDag, Strategy};
+use serde_json::{json, Value};
+
+struct Args {
+    out: String,
+    check: Option<String>,
+    tolerance: f64,
+    sizes: Vec<usize>,
+    samples: usize,
+    threads: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_planner.json".to_string(),
+        check: None,
+        tolerance: 0.20,
+        sizes: vec![10, 50, 202],
+        samples: 5,
+        threads: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1).ok_or(format!("flag '{flag}' needs a value"))
+        };
+        match flag {
+            "--out" => args.out = value(i)?.clone(),
+            "--check" => args.check = Some(value(i)?.clone()),
+            "--tolerance" => {
+                args.tolerance = value(i)?.parse().map_err(|e| format!("--tolerance: {e}"))?
+            }
+            "--sizes" => {
+                args.sizes = match value(i)?.as_str() {
+                    "tiny" => vec![10],
+                    "full" => vec![10, 50, 202],
+                    other => return Err(format!("--sizes must be tiny|full, got '{other}'")),
+                }
+            }
+            "--samples" => {
+                args.samples = value(i)?.parse().map_err(|e| format!("--samples: {e}"))?
+            }
+            "--threads" => {
+                args.threads = Some(value(i)?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+    if args.samples == 0 {
+        return Err("--samples must be >= 1".into());
+    }
+    Ok(args)
+}
+
+/// Time `samples` runs of `f` (after one warmup); returns (mean, min) ms.
+fn time_ms<O>(samples: usize, mut f: impl FnMut() -> O) -> (f64, f64) {
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    (mean, min)
+}
+
+fn run_suite(args: &Args) -> Value {
+    let astra = planner(Strategy::ExactCsp);
+    let mut results: Vec<Value> = Vec::new();
+    let mut speedups: Vec<Value> = Vec::new();
+
+    let push = |results: &mut Vec<Value>, name: String, n: usize, tiers: usize, mean: f64, min: f64| {
+        eprintln!("bench {name}: mean {mean:.2} ms, min {min:.2} ms");
+        results.push(json!({
+            "name": name,
+            "n": n,
+            "tiers": tiers,
+            "mean_ms": mean,
+            "min_ms": min,
+        }));
+    };
+
+    for &n in &args.sizes {
+        let job = synthetic_job(n);
+        let space = full_space(&astra, &job);
+        let tiers = space.memory_tiers_mb.len();
+
+        let (serial_mean, serial_min) = time_ms(args.samples, || {
+            PlannerDag::build_serial(&job, astra.platform(), astra.catalog(), &space)
+        });
+        push(
+            &mut results,
+            format!("dag_build_serial/N{n}"),
+            n,
+            tiers,
+            serial_mean,
+            serial_min,
+        );
+
+        let (par_mean, par_min) = time_ms(args.samples, || astra.build_dag(&job, &space));
+        push(
+            &mut results,
+            format!("dag_build_parallel/N{n}"),
+            n,
+            tiers,
+            par_mean,
+            par_min,
+        );
+        speedups.push(json!({
+            "name": format!("dag_build/N{n}"),
+            "serial_ms": serial_min,
+            "parallel_ms": par_min,
+            "speedup": serial_min / par_min,
+        }));
+
+        let dag = astra.build_dag(&job, &space);
+        let objective = binding_budget(&astra, &job);
+        let (csp_mean, csp_min) = time_ms(args.samples, || {
+            solve_on_dag(&dag, objective, Strategy::ExactCsp)
+        });
+        push(
+            &mut results,
+            format!("solve_exact_csp/N{n}"),
+            n,
+            tiers,
+            csp_mean,
+            csp_min,
+        );
+    }
+
+    // Exhaustive sweep on a reduced tier set (the full 46-tier cube is
+    // validation-only and combinatorially far larger than planning).
+    {
+        let n = args.sizes[0];
+        let job = synthetic_job(n);
+        let space = ConfigSpace::with_tiers(&job, astra.platform(), &[128, 512, 1024, 3008]);
+        let tiers = space.memory_tiers_mb.len();
+        let objective = binding_budget(&astra, &job);
+        let (se_mean, se_min) = time_ms(args.samples, || {
+            solve_exhaustive_serial(&job, astra.platform(), astra.catalog(), &space, objective)
+        });
+        push(
+            &mut results,
+            format!("exhaustive_serial/N{n}"),
+            n,
+            tiers,
+            se_mean,
+            se_min,
+        );
+        let (pe_mean, pe_min) = time_ms(args.samples, || {
+            solve_exhaustive(&job, astra.platform(), astra.catalog(), &space, objective)
+        });
+        push(
+            &mut results,
+            format!("exhaustive_parallel/N{n}"),
+            n,
+            tiers,
+            pe_mean,
+            pe_min,
+        );
+        speedups.push(json!({
+            "name": format!("exhaustive/N{n}"),
+            "serial_ms": se_min,
+            "parallel_ms": pe_min,
+            "speedup": se_min / pe_min,
+        }));
+    }
+
+    json!({
+        "schema_version": 1,
+        "suite": "astra-planner-bench",
+        "cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "threads": rayon::current_num_threads(),
+        "samples": args.samples,
+        "results": results,
+        "speedups": speedups,
+    })
+}
+
+/// Compare `current` against `baseline`; returns the regressions found.
+fn regressions(current: &Value, baseline: &Value, tolerance: f64) -> Vec<String> {
+    let empty = Vec::new();
+    let base: Vec<(&str, f64)> = baseline["results"]
+        .as_array()
+        .unwrap_or(&empty)
+        .iter()
+        .filter_map(|r| Some((r["name"].as_str()?, r["min_ms"].as_f64()?)))
+        .collect();
+    let mut out = Vec::new();
+    for r in current["results"].as_array().unwrap_or(&empty) {
+        let (Some(name), Some(min)) = (r["name"].as_str(), r["min_ms"].as_f64()) else {
+            continue;
+        };
+        if let Some(&(_, base_min)) = base.iter().find(|(b, _)| *b == name) {
+            if min > base_min * (1.0 + tolerance) {
+                out.push(format!(
+                    "{name}: {min:.2} ms vs baseline {base_min:.2} ms (+{:.0}% > +{:.0}% allowed)",
+                    (min / base_min - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("astra-bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(n) = args.threads {
+        let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+    }
+
+    // Load the baseline before spending bench time, so a bad path or
+    // corrupt file fails in milliseconds rather than after the suite.
+    let baseline: Option<Value> = args.check.as_ref().map(|baseline_path| {
+        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("astra-bench: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("astra-bench: baseline {baseline_path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    });
+
+    let report = run_suite(&args);
+
+    if let (Some(baseline_path), Some(baseline)) = (&args.check, &baseline) {
+        let bad = regressions(&report, baseline, args.tolerance);
+        if bad.is_empty() {
+            println!(
+                "astra-bench: no regressions beyond {:.0}% against {baseline_path}",
+                args.tolerance * 100.0
+            );
+        } else {
+            eprintln!("astra-bench: performance regressions detected:");
+            for b in &bad {
+                eprintln!("  {b}");
+            }
+            std::process::exit(1);
+        }
+    } else {
+        let text = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&args.out, text + "\n").expect("write report");
+        println!("astra-bench: wrote {}", args.out);
+    }
+}

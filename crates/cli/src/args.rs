@@ -15,6 +15,9 @@ pub struct JobOpts {
     pub noise_cv: f64,
     /// Simulator seed (`--seed`).
     pub seed: u64,
+    /// Planner thread-count override (`--threads`); `None` keeps the
+    /// `RAYON_NUM_THREADS` / auto-detected default.
+    pub threads: Option<usize>,
 }
 
 /// A parsed CLI invocation.
@@ -30,6 +33,8 @@ pub enum Command {
     Baselines {
         /// The workload to compare on.
         workload: WorkloadSpec,
+        /// Planner thread-count override.
+        threads: Option<usize>,
     },
     /// `astra timeline --workload W [...]` — ASCII Gantt of a run.
     Timeline(JobOpts),
@@ -38,9 +43,22 @@ pub enum Command {
     Frontier {
         /// The workload to sweep.
         workload: WorkloadSpec,
+        /// Planner thread-count override.
+        threads: Option<usize>,
     },
     /// `astra help`.
     Help,
+}
+
+impl Command {
+    /// The `--threads` override this invocation carries, if any.
+    pub fn threads(&self) -> Option<usize> {
+        match self {
+            Command::Plan(o) | Command::Simulate(o) | Command::Timeline(o) => o.threads,
+            Command::Baselines { threads, .. } | Command::Frontier { threads, .. } => *threads,
+            Command::Workloads | Command::Help => None,
+        }
+    }
 }
 
 /// Why parsing failed.
@@ -93,6 +111,7 @@ fn parse_job_opts(args: &[String]) -> Result<JobOpts, ParseError> {
     let mut deadline = None;
     let mut noise = 0.1;
     let mut seed = 42u64;
+    let mut threads = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -133,6 +152,16 @@ fn parse_job_opts(args: &[String]) -> Result<JobOpts, ParseError> {
                     .map_err(|_| ParseError::BadFlag(flag.to_string()))?;
                 i += 2;
             }
+            "--threads" | "-t" => {
+                let n = value()?
+                    .parse::<usize>()
+                    .map_err(|_| ParseError::BadFlag(flag.to_string()))?;
+                if n == 0 {
+                    return Err(ParseError::BadFlag(flag.to_string()));
+                }
+                threads = Some(n);
+                i += 2;
+            }
             other => return Err(ParseError::BadFlag(other.to_string())),
         }
     }
@@ -142,6 +171,7 @@ fn parse_job_opts(args: &[String]) -> Result<JobOpts, ParseError> {
         deadline_s: deadline,
         noise_cv: noise,
         seed,
+        threads,
     })
 }
 
@@ -159,6 +189,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let opts = parse_job_opts(rest)?;
             Ok(Command::Baselines {
                 workload: opts.workload,
+                threads: opts.threads,
             })
         }
         "timeline" => Ok(Command::Timeline(parse_job_opts(rest)?)),
@@ -166,6 +197,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let opts = parse_job_opts(rest)?;
             Ok(Command::Frontier {
                 workload: opts.workload,
+                threads: opts.threads,
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -230,9 +262,35 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Frontier {
-                workload: WorkloadSpec::Sort100
+                workload: WorkloadSpec::Sort100,
+                threads: None,
             }
         );
+    }
+
+    #[test]
+    fn threads_flag_parses_everywhere() {
+        let cmd = parse(&argv("plan -w wc1 --threads 4")).unwrap();
+        assert_eq!(cmd.threads(), Some(4));
+        let Command::Plan(opts) = cmd else { panic!() };
+        assert_eq!(opts.threads, Some(4));
+
+        let cmd = parse(&argv("frontier -w sort -t 8")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Frontier {
+                workload: WorkloadSpec::Sort100,
+                threads: Some(8),
+            }
+        );
+
+        // Default: no override.
+        assert_eq!(parse(&argv("plan -w wc1")).unwrap().threads(), None);
+        // Zero threads is meaningless.
+        assert!(matches!(
+            parse(&argv("plan --threads 0")),
+            Err(ParseError::BadFlag(_))
+        ));
     }
 
     #[test]

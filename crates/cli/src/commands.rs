@@ -223,6 +223,8 @@ FLAGS:
     -d, --deadline <secs>   minimize cost under this completion-time threshold
         --noise <cv>        simulator runtime-noise CV (default 0.1)
         --seed <n>          simulator seed (default 42)
+    -t, --threads <n>       planner worker threads (default: all cores;
+                            any value yields the same plan)
 
 With neither --budget nor --deadline, astra plans for the fastest execution."
     )
@@ -254,6 +256,7 @@ mod tests {
             deadline_s: None,
             noise_cv: 0.0,
             seed: 1,
+            threads: None,
         };
         let text = capture(crate::Command::Plan(opts));
         assert!(text.contains("Plan"), "{text}");
@@ -268,6 +271,7 @@ mod tests {
             deadline_s: Some(120.0),
             noise_cv: 0.0,
             seed: 1,
+            threads: None,
         };
         let text = capture(crate::Command::Simulate(opts));
         assert!(text.contains("Simulated"), "{text}");
@@ -278,6 +282,7 @@ mod tests {
     fn baselines_table_includes_astra_row() {
         let text = capture(crate::Command::Baselines {
             workload: WorkloadSpec::wordcount_gb(1),
+            threads: None,
         });
         assert!(text.contains("Baseline 1"));
         assert!(text.contains("Astra"));
@@ -291,6 +296,7 @@ mod tests {
             deadline_s: None,
             noise_cv: 0.0,
             seed: 1,
+            threads: None,
         };
         let text = capture(crate::Command::Plan(opts));
         assert!(text.contains("planning failed"), "{text}");
@@ -308,6 +314,7 @@ mod tests {
     fn frontier_lists_multiple_plans() {
         let text = capture(crate::Command::Frontier {
             workload: WorkloadSpec::wordcount_gb(1),
+            threads: Some(2),
         });
         assert!(text.contains("distinct plans"), "{text}");
     }

@@ -13,13 +13,19 @@ pub use args::{parse, Command, ParseError};
 
 /// Run a parsed command, writing human-readable output to `out`.
 pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+    if let Some(n) = command.threads() {
+        // Pin the planner's parallelism before any parallel call runs.
+        // Plans are identical for every thread count (the planner's
+        // determinism guarantee); this only changes wall-clock.
+        let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+    }
     match command {
         Command::Workloads => commands::workloads(out),
         Command::Plan(opts) => commands::plan(opts, out),
         Command::Simulate(opts) => commands::simulate(opts, out),
-        Command::Baselines { workload } => commands::baselines(workload, out),
+        Command::Baselines { workload, .. } => commands::baselines(workload, out),
         Command::Timeline(opts) => commands::timeline(opts, out),
-        Command::Frontier { workload } => commands::frontier(workload, out),
+        Command::Frontier { workload, .. } => commands::frontier(workload, out),
         Command::Help => commands::help(out),
     }
 }

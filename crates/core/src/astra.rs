@@ -1,7 +1,8 @@
 //! The user-facing planner: job in, optimal execution plan out.
 
-use astra_model::{Infeasibility, JobSpec, Platform};
+use astra_model::{Infeasibility, JobConfig, JobSpec, Platform};
 use astra_pricing::PriceCatalog;
+use rayon::prelude::*;
 
 use crate::dag::PlannerDag;
 use crate::objective::Objective;
@@ -137,6 +138,10 @@ impl Astra {
     /// knob the paper's abstract promises, as one call. Plans are
     /// deduplicated (consecutive budgets often buy the same plan); the
     /// first element is the cheapest plan, the last the fastest.
+    ///
+    /// The per-budget constrained solves run in parallel over the shared
+    /// DAG; the dedup pass walks the results in budget order, so the
+    /// frontier is identical for every thread count.
     pub fn pareto_frontier(&self, job: &JobSpec, points: usize) -> Result<Vec<Plan>, PlanError> {
         assert!(points >= 2, "a frontier needs at least its endpoints");
         let space = ConfigSpace::full(job, &self.platform);
@@ -155,18 +160,23 @@ impl Astra {
             .map_err(PlanError::Internal)?;
         let (lo_c, hi_c) = (lo.predicted_cost().nanos(), hi.predicted_cost().nanos());
 
+        let steps: Vec<usize> = (1..points).collect();
+        let configs: Vec<Option<JobConfig>> = steps
+            .into_par_iter()
+            .map(|step| {
+                let budget = astra_pricing::Money::from_nanos(
+                    lo_c + (hi_c - lo_c) * step as i128 / (points - 1) as i128,
+                );
+                solve_on_dag(&dag, Objective::MinimizeTime { budget }, self.strategy)
+            })
+            .collect();
+
         let mut frontier: Vec<Plan> = vec![lo];
-        for step in 1..points {
-            let budget = astra_pricing::Money::from_nanos(
-                lo_c + (hi_c - lo_c) * step as i128 / (points - 1) as i128,
-            );
-            let objective = Objective::MinimizeTime { budget };
-            if let Some(config) = solve_on_dag(&dag, objective, self.strategy) {
-                let plan = Plan::evaluate(job, &self.platform, &self.catalog, config.into())
-                    .map_err(PlanError::Internal)?;
-                if frontier.last().map(|p| p.spec != plan.spec).unwrap_or(true) {
-                    frontier.push(plan);
-                }
+        for config in configs.into_iter().flatten() {
+            let plan = Plan::evaluate(job, &self.platform, &self.catalog, config.into())
+                .map_err(PlanError::Internal)?;
+            if frontier.last().map(|p| p.spec != plan.spec).unwrap_or(true) {
+                frontier.push(plan);
             }
         }
         Ok(frontier)

@@ -1,0 +1,300 @@
+//! Memoized analytical-model evaluations shared across planner passes.
+//!
+//! The planner evaluates the same model sub-terms many times: an
+//! exhaustive sweep re-derives the mapping phase for every
+//! `(k_R, coordinator tier, reducer tier)` combination even though it
+//! only depends on `(mapper tier, k_M)`, and re-derives the reduce-step
+//! schedule for every tier triple even though it only depends on
+//! `(k_M, k_R)`. [`ModelCache`] memoizes those sub-terms once per
+//! `(job, platform)` pair so that repeated evaluations — across DAG
+//! edges, exhaustive sweeps and frontier walks — are computed once.
+//!
+//! ## Cache invariants
+//!
+//! 1. **Keys are total.** Every cached value is a pure function of its
+//!    key given the `(job, platform)` the cache was created for:
+//!    - mapper phase ← `(mapper mem tier, k_M)`,
+//!    - mapper output volumes ← `k_M`,
+//!    - reduce structure (Table II schedule) ← `(k_M, k_R)`,
+//!    - reduce tier times ← `(k_M, k_R, reducer mem tier)`.
+//!
+//!    Nothing tier- or volume-dependent is cached under a key that omits
+//!    that tier or volume, so a cache can never serve a stale or
+//!    mismatched value.
+//! 2. **Transparency.** [`ModelCache::evaluate`] returns results
+//!    bit-identical to [`astra_model::evaluate`] — the same `f64` times
+//!    to the last ULP and the same cost to the last nano-dollar — because
+//!    cached sub-terms are the *same computations* the uncached path
+//!    runs, stored verbatim (a property test asserts this).
+//! 3. **Concurrency-safe determinism.** Entries are `Arc`-shared behind
+//!    `RwLock`ed maps; racing threads may compute an entry twice, but
+//!    both computations produce identical values and the first insert
+//!    wins, so results never depend on thread interleaving.
+//! 4. **A cache never outlives its inputs.** The cache borrows the job
+//!    and platform; rebuilding for a different job/platform is the only
+//!    way to change them, so entries cannot be poisoned by mutation.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use astra_model::cost::full_cost;
+use astra_model::evaluate::{check_feasibility, Evaluation, Infeasibility};
+use astra_model::perf::{
+    coordinator_compute_secs, coordinator_state_put_secs, mapper_phase, reduce_structure,
+    reduce_tier_times, MapperPhase, PerfBreakdown, ReducePhase, ReduceStructure, ReduceTierTimes,
+};
+use astra_model::{JobConfig, JobSpec, Platform};
+use astra_pricing::PriceCatalog;
+use parking_lot::RwLock;
+
+/// One memoized map: `Arc`-shared values behind a reader-writer lock.
+struct Memo<K, V>(RwLock<HashMap<K, Arc<V>>>);
+
+impl<K: Eq + Hash + Copy, V> Memo<K, V> {
+    fn new() -> Self {
+        Memo(RwLock::new(HashMap::new()))
+    }
+
+    /// Fetch the entry for `key`, computing it with `make` on a miss.
+    /// If two threads race on the same miss the first insert wins (both
+    /// compute identical values, see the module invariants).
+    fn get_or(&self, key: K, make: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(v) = self.0.read().get(&key) {
+            return Arc::clone(v);
+        }
+        let v = Arc::new(make());
+        Arc::clone(self.0.write().entry(key).or_insert(v))
+    }
+
+    fn len(&self) -> usize {
+        self.0.read().len()
+    }
+}
+
+/// Memoized model evaluations for one `(job, platform)` pair.
+///
+/// Create one per planning request and share it (by reference) across
+/// threads; see the module docs for the invariants that make that safe.
+pub struct ModelCache<'a> {
+    job: &'a JobSpec,
+    platform: &'a Platform,
+    mapper: Memo<(u32, usize), MapperPhase>,
+    outputs: Memo<usize, Vec<f64>>,
+    structure: Memo<(usize, usize), ReduceStructure>,
+    tier_times: Memo<(usize, usize, u32), ReduceTierTimes>,
+}
+
+impl<'a> ModelCache<'a> {
+    /// An empty cache for `job` on `platform`.
+    pub fn new(job: &'a JobSpec, platform: &'a Platform) -> Self {
+        ModelCache {
+            job,
+            platform,
+            mapper: Memo::new(),
+            outputs: Memo::new(),
+            structure: Memo::new(),
+            tier_times: Memo::new(),
+        }
+    }
+
+    /// The job this cache evaluates.
+    pub fn job(&self) -> &JobSpec {
+        self.job
+    }
+
+    /// The platform this cache evaluates against.
+    pub fn platform(&self) -> &Platform {
+        self.platform
+    }
+
+    /// The mapping phase at `(mapper mem tier, k_M)` (Eq. 1–4).
+    pub fn mapper_phase(&self, mem_mb: u32, k_m: usize) -> Arc<MapperPhase> {
+        self.mapper
+            .get_or((mem_mb, k_m), || mapper_phase(self.job, self.platform, mem_mb, k_m))
+    }
+
+    /// Per-mapper shuffle output volumes for `k_M` (tier-independent:
+    /// sizes depend only on the object assignment and the shuffle ratio).
+    pub fn mapper_outputs(&self, k_m: usize) -> Arc<Vec<f64>> {
+        self.outputs.get_or(k_m, || {
+            astra_model::distribute::distribute_sizes(&self.job.object_sizes_mb, k_m)
+                .into_iter()
+                .map(|objs| objs.iter().sum::<f64>() * self.job.profile.shuffle_ratio)
+                .collect()
+        })
+    }
+
+    /// The Table II reduce-step schedule for `(k_M, k_R)`.
+    pub fn reduce_structure(&self, k_m: usize, k_r: usize) -> Arc<ReduceStructure> {
+        self.structure.get_or((k_m, k_r), || {
+            let outputs = self.mapper_outputs(k_m);
+            reduce_structure(&outputs, k_r, &self.job.profile, self.platform)
+        })
+    }
+
+    /// Reducer lifetimes for `(k_M, k_R)` at one reducer memory tier.
+    pub fn reduce_tier_times(&self, k_m: usize, k_r: usize, mem_mb: u32) -> Arc<ReduceTierTimes> {
+        self.tier_times.get_or((k_m, k_r, mem_mb), || {
+            let structure = self.reduce_structure(k_m, k_r);
+            reduce_tier_times(&structure, self.platform, &self.job.profile, mem_mb)
+        })
+    }
+
+    /// Evaluate one configuration end to end through the cache.
+    ///
+    /// Bit-identical to [`astra_model::evaluate`] on the same inputs
+    /// (invariant 2): the feasibility checks, their order, and every
+    /// arithmetic operation match the uncached path.
+    pub fn evaluate(
+        &self,
+        config: &JobConfig,
+        catalog: &PriceCatalog,
+    ) -> Result<Evaluation, Infeasibility> {
+        for mem in [
+            config.mapper_mem_mb,
+            config.coordinator_mem_mb,
+            config.reducer_mem_mb,
+        ] {
+            if !self.platform.is_valid_tier(mem) {
+                return Err(Infeasibility::InvalidMemoryTier { mem_mb: mem });
+            }
+        }
+        config.validate();
+        self.job.profile.validate();
+
+        let mapper = (*self.mapper_phase(config.mapper_mem_mb, config.objects_per_mapper)).clone();
+        let structure = (*self
+            .reduce_structure(config.objects_per_mapper, config.objects_per_reducer))
+        .clone();
+        let times = (*self.reduce_tier_times(
+            config.objects_per_mapper,
+            config.objects_per_reducer,
+            config.reducer_mem_mb,
+        ))
+        .clone();
+        let coord_compute_s = coordinator_compute_secs(
+            self.job.shuffle_mb(),
+            self.platform,
+            &self.job.profile,
+            config.coordinator_mem_mb,
+        );
+        let coord_state_put_s = coordinator_state_put_secs(
+            structure.num_steps(),
+            self.platform,
+            &self.job.profile,
+            config.coordinator_mem_mb,
+        );
+        let perf = PerfBreakdown {
+            mapper,
+            coord_compute_s,
+            coord_state_put_s,
+            reduce: ReducePhase { structure, times },
+        };
+        check_feasibility(self.job, self.platform, &perf)?;
+        let cost = full_cost(self.job, config, &perf, self.platform, catalog);
+        Ok(Evaluation { perf, cost })
+    }
+
+    /// Number of memoized entries across all maps (for diagnostics and
+    /// the bench runner's cache-effectiveness report).
+    pub fn entries(&self) -> usize {
+        self.mapper.len() + self.outputs.len() + self.structure.len() + self.tier_times.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_model::{evaluate, WorkloadProfile};
+
+    fn cfg(mem: u32, k_m: usize, k_r: usize) -> JobConfig {
+        JobConfig {
+            mapper_mem_mb: mem,
+            coordinator_mem_mb: mem,
+            reducer_mem_mb: mem,
+            objects_per_mapper: k_m,
+            objects_per_reducer: k_r,
+        }
+    }
+
+    #[test]
+    fn cached_evaluation_matches_uncached_exactly() {
+        let job = JobSpec::uniform("t", 12, 1.5, WorkloadProfile::uniform_test());
+        let platform = Platform::aws_lambda();
+        let catalog = PriceCatalog::aws_2020();
+        let cache = ModelCache::new(&job, &platform);
+        for mem in [128, 512, 3008] {
+            for k_m in [1, 2, 5] {
+                for k_r in [2, 4] {
+                    let c = cfg(mem, k_m, k_r);
+                    let a = cache.evaluate(&c, &catalog);
+                    let b = evaluate(&job, &platform, &c, &catalog);
+                    match (a, b) {
+                        (Ok(x), Ok(y)) => {
+                            assert_eq!(x.total_cost(), y.total_cost(), "{c:?}");
+                            assert_eq!(x.jct_s().to_bits(), y.jct_s().to_bits(), "{c:?}");
+                        }
+                        (Err(x), Err(y)) => assert_eq!(x, y),
+                        (x, y) => panic!("verdicts diverge for {c:?}: {x:?} vs {y:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_is_populated_and_reused() {
+        let job = JobSpec::uniform("t", 8, 1.0, WorkloadProfile::uniform_test());
+        let platform = Platform::paper_literal(10.0);
+        let catalog = PriceCatalog::aws_2020();
+        let cache = ModelCache::new(&job, &platform);
+        cache.evaluate(&cfg(128, 2, 2), &catalog).unwrap();
+        let after_first = cache.entries();
+        assert!(after_first >= 4, "mapper + outputs + structure + times");
+        // Same sub-keys: only the reducer-tier entry is new.
+        cache.evaluate(&cfg(128, 2, 2), &catalog).unwrap();
+        assert_eq!(cache.entries(), after_first);
+        cache
+            .evaluate(
+                &JobConfig {
+                    reducer_mem_mb: 1024,
+                    ..cfg(128, 2, 2)
+                },
+                &catalog,
+            )
+            .unwrap();
+        assert_eq!(cache.entries(), after_first + 1);
+    }
+
+    #[test]
+    fn invalid_tier_short_circuits() {
+        let job = JobSpec::uniform("t", 4, 1.0, WorkloadProfile::uniform_test());
+        let platform = Platform::aws_lambda();
+        let cache = ModelCache::new(&job, &platform);
+        let err = cache
+            .evaluate(&cfg(100, 2, 2), &PriceCatalog::aws_2020())
+            .unwrap_err();
+        assert_eq!(err, Infeasibility::InvalidMemoryTier { mem_mb: 100 });
+        assert_eq!(cache.entries(), 0, "nothing cached for rejected tiers");
+    }
+
+    #[test]
+    fn shared_across_threads_stays_consistent() {
+        let job = JobSpec::uniform("t", 10, 1.0, WorkloadProfile::uniform_test());
+        let platform = Platform::aws_lambda();
+        let catalog = PriceCatalog::aws_2020();
+        let cache = ModelCache::new(&job, &platform);
+        let reference = evaluate(&job, &platform, &cfg(512, 2, 3), &catalog).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        let ev = cache.evaluate(&cfg(512, 2, 3), &catalog).unwrap();
+                        assert_eq!(ev.total_cost(), reference.total_cost());
+                    }
+                });
+            }
+        });
+    }
+}

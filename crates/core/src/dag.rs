@@ -34,22 +34,32 @@
 //!
 //! Edges whose configuration violates platform constraints (Eq. 18
 //! concurrency/storage caps, per-function timeout) are simply not added.
-
-use std::collections::HashMap;
+//!
+//! ## Parallel construction
+//!
+//! Building columns 2–4 dominates planning time: it evaluates the
+//! analytical model once per `(k_M, tier)` for the mapper edges and once
+//! per `(k_M, k_R, tier)` for the reduce edges. [`PlannerDag::build`]
+//! evaluates those edge metrics in parallel (rayon) as side-effect-free
+//! *recipes*, then assembles the graph serially from the collected
+//! recipes in a fixed order — `k_M` in `space.k_m_values` order, `k_R`
+//! in candidate order, tiers in `space.memory_tiers_mb` order — so node
+//! and edge IDs are identical for every thread count and identical to
+//! [`PlannerDag::build_serial`], which runs the same recipe functions on
+//! one thread (equivalence tests assert graph-level bit-identity).
 
 use astra_graph::{DiGraph, EdgeId, NodeId};
 use astra_model::cost::{
     coordinator_storage_cost, mapper_edge_cost, orchestration_requests_cost, reduce_edge_cost,
     runtime_cost,
 };
-use astra_model::perf::{
-    coordinator_compute_secs, coordinator_state_put_secs, mapper_phase, reduce_structure,
-    reduce_tier_times,
-};
+use astra_model::perf::{coordinator_compute_secs, coordinator_state_put_secs};
 use astra_model::schedule::total_input_mb;
 use astra_model::{JobConfig, JobSpec, Platform};
 use astra_pricing::{Money, PriceCatalog};
+use rayon::prelude::*;
 
+use crate::cache::ModelCache;
 use crate::space::ConfigSpace;
 
 /// What a DAG node decides.
@@ -117,191 +127,273 @@ pub struct PlannerDag {
     sink: NodeId,
 }
 
+/// Column-2 recipe: the mapper edges one `k_M` contributes, as
+/// `(mapper-tier index, metrics)` in tier order. Absent `k_M`s (too wide
+/// for the concurrency cap, or too slow at every tier) produce no recipe.
+struct Col2Recipe {
+    k_m: usize,
+    j: usize,
+    mapper_edges: Vec<(usize, EdgeMetrics)>,
+}
+
+/// Column-4 recipe for one coordinator tier within a `(k_M, k_R)`: the
+/// `(k_M,k_R) -> +coord` edge plus the final edges to each feasible
+/// reducer tier, as `(reducer-tier index, metrics)` in tier order.
+struct Col4Recipe {
+    e3: EdgeMetrics,
+    final_edges: Vec<(usize, EdgeMetrics)>,
+}
+
+/// Column-3 recipe: everything one `(k_M, k_R)` pair contributes below
+/// column 2. `per_coord` holds one entry per coordinator tier, in
+/// `space.memory_tiers_mb` order.
+struct Col3Recipe {
+    k_r: usize,
+    e2: EdgeMetrics,
+    per_coord: Vec<Col4Recipe>,
+}
+
+/// Compute the column-2 recipe for one `k_M` (pure; safe to run on any
+/// thread).
+fn col2_recipe(
+    platform: &Platform,
+    catalog: &PriceCatalog,
+    space: &ConfigSpace,
+    cache: &ModelCache<'_>,
+    k_m: usize,
+) -> Option<Col2Recipe> {
+    let job = cache.job();
+    let j = job.num_objects().div_ceil(k_m);
+    if j.max(2) > platform.max_concurrency as usize {
+        return None; // Eq. 18: j <= R
+    }
+    let mut mapper_edges = Vec::new();
+    for (ti, &i_mem) in space.memory_tiers_mb.iter().enumerate() {
+        // Computed exactly as the analytical model does, so that a
+        // path's metrics match `astra_model::evaluate` bit for bit.
+        let phase = cache.mapper_phase(i_mem, k_m);
+        if phase.duration_s > platform.timeout_s {
+            continue; // this tier is too slow for this k_M
+        }
+        let cost = mapper_edge_cost(job, &phase, i_mem, platform, catalog);
+        mapper_edges.push((ti, metrics(phase.duration_s, cost)));
+    }
+    if mapper_edges.is_empty() {
+        return None;
+    }
+    Some(Col2Recipe {
+        k_m,
+        j,
+        mapper_edges,
+    })
+}
+
+/// Compute the column-3/4 recipe for one `(k_M, k_R)` pair (pure; safe
+/// to run on any thread). `coord_compute[ai]` is the coordinator
+/// planning time at tier `ai`.
+fn col3_recipe(
+    platform: &Platform,
+    catalog: &PriceCatalog,
+    space: &ConfigSpace,
+    cache: &ModelCache<'_>,
+    coord_compute: &[f64],
+    k_m: usize,
+    k_r: usize,
+) -> Option<Col3Recipe> {
+    let job = cache.job();
+    let tiers = &space.memory_tiers_mb;
+    let structure = cache.reduce_structure(k_m, k_r);
+    // Eq. 18 storage cap: D + S(state) + Q <= O.
+    let state_mb = job.profile.state_object_mb * structure.num_steps() as f64;
+    if job.total_mb() + state_mb + total_input_mb(&structure.steps) > platform.max_storage_mb {
+        return None;
+    }
+    // Concurrency: widest reduce step + the waiting coordinator.
+    let widest = structure
+        .steps
+        .iter()
+        .map(|s| s.reducers())
+        .max()
+        .unwrap_or(0);
+    if widest + 1 > platform.max_concurrency as usize {
+        return None;
+    }
+
+    let e2_cost = orchestration_requests_cost(&structure, platform, catalog);
+
+    // Per reducer tier: full reducer lifetimes, phase span, reducer
+    // bills — all independent of the coordinator tier.
+    struct PerTier {
+        phase_s: f64,
+        wait_before_last_s: f64,
+        edge_cost_excl_coord: Money,
+        feasible: bool,
+    }
+    let per_tier: Vec<PerTier> = tiers
+        .iter()
+        .map(|&s_mem| {
+            let times = cache.reduce_tier_times(k_m, k_r, s_mem);
+            let feasible = times
+                .per_reducer_s
+                .iter()
+                .flatten()
+                .all(|&t| t <= platform.timeout_s);
+            let wait_before_last: f64 = times.per_step_max_s[..times.per_step_max_s.len() - 1]
+                .iter()
+                .sum();
+            // reduce_edge_cost with a zero-duration coordinator gives
+            // the coordinator-independent part.
+            let cost_excl = reduce_edge_cost(
+                job, &structure, &times, s_mem, tiers[0], 0.0, platform, catalog,
+            );
+            PerTier {
+                phase_s: times.duration_s(),
+                wait_before_last_s: wait_before_last,
+                edge_cost_excl_coord: cost_excl,
+                feasible,
+            }
+        })
+        .collect();
+
+    let last_spawn_s = *structure
+        .per_step_spawn_s
+        .last()
+        .expect("at least one step");
+    let per_coord: Vec<Col4Recipe> = tiers
+        .iter()
+        .enumerate()
+        .map(|(ai, &a_mem)| {
+            let state_put_s =
+                coordinator_state_put_secs(structure.num_steps(), platform, &job.profile, a_mem);
+            let t2_s = coord_compute[ai] + state_put_s;
+            let e3_cost = coordinator_storage_cost(job, &structure, t2_s, platform, catalog);
+            let mut final_edges = Vec::new();
+            for (si, tier) in per_tier.iter().enumerate() {
+                if !tier.feasible {
+                    continue;
+                }
+                // The coordinator waits through the first P-1 steps and
+                // pays the final step's launch latency before exiting
+                // (PerfBreakdown::coordinator_billed_s).
+                let coord_billed_s = t2_s + tier.wait_before_last_s + last_spawn_s;
+                if coord_billed_s > platform.timeout_s {
+                    continue;
+                }
+                let coord_cost = runtime_cost(coord_billed_s, a_mem, &catalog.lambda);
+                let e4_cost = tier.edge_cost_excl_coord + coord_cost;
+                final_edges.push((si, metrics(tier.phase_s, e4_cost)));
+            }
+            Col4Recipe {
+                e3: metrics(t2_s, e3_cost),
+                final_edges,
+            }
+        })
+        .collect();
+
+    Some(Col3Recipe {
+        k_r,
+        e2: metrics(0.0, e2_cost),
+        per_coord,
+    })
+}
+
 impl PlannerDag {
     /// Construct the DAG for `job` over `space`, pricing with `catalog`.
+    ///
+    /// Edge metrics for columns 2–4 are evaluated in parallel over the
+    /// `(k_M, k_R, tier)` choices; assembly is serial and ordered, so the
+    /// resulting graph is bit-identical to [`PlannerDag::build_serial`]
+    /// for every thread count.
     pub fn build(
         job: &JobSpec,
         platform: &Platform,
         catalog: &PriceCatalog,
         space: &ConfigSpace,
     ) -> PlannerDag {
+        let cache = ModelCache::new(job, platform);
+        Self::build_with_cache(catalog, space, &cache)
+    }
+
+    /// [`PlannerDag::build`] reusing an existing model cache, so DAG
+    /// construction and later sweeps (exhaustive validation, frontier
+    /// walks) share memoized sub-terms.
+    pub fn build_with_cache(
+        catalog: &PriceCatalog,
+        space: &ConfigSpace,
+        cache: &ModelCache<'_>,
+    ) -> PlannerDag {
+        let (job, platform) = (cache.job(), cache.platform());
         job.profile.validate();
-        let n = job.num_objects();
-        let tiers = &space.memory_tiers_mb;
-        let mut g: DiGraph<Choice, EdgeMetrics> = DiGraph::new();
-        let source = g.add_node(Choice::Source);
-        let sink = g.add_node(Choice::Sink);
+        let coord_compute = coord_compute_per_tier(job, platform, space);
 
-        // Column 1 (mapper memory) and column 5 (reducer memory) are
-        // shared across all partitioning choices.
-        let col1: Vec<NodeId> = tiers
+        // Pass 1: mapper edges, parallel over k_M (order-preserving).
+        let col2: Vec<Col2Recipe> = space
+            .k_m_values
+            .par_iter()
+            .filter_map(|&k_m| col2_recipe(platform, catalog, space, cache, k_m))
+            .collect();
+
+        // Pass 2: reduce edges, parallel over the surviving (k_M, k_R)
+        // pairs. Work items are indexed by their column-2 recipe so the
+        // results can be regrouped in order.
+        let work: Vec<(usize, usize, usize)> = col2
             .iter()
-            .map(|&m| {
-                let id = g.add_node(Choice::MapperMem(m));
-                g.add_edge(source, id, metrics(0.0, Money::ZERO));
-                id
+            .enumerate()
+            .flat_map(|(ci, r)| {
+                space
+                    .k_r_candidates(r.j)
+                    .into_iter()
+                    .map(move |k_r| (ci, r.k_m, k_r))
             })
             .collect();
-        let col5: Vec<NodeId> = tiers
-            .iter()
-            .map(|&m| {
-                let id = g.add_node(Choice::ReducerMem(m));
-                g.add_edge(id, sink, metrics(0.0, Money::ZERO));
-                id
+        let col3_flat: Vec<Option<(usize, Col3Recipe)>> = work
+            .par_iter()
+            .map(|&(ci, k_m, k_r)| {
+                col3_recipe(platform, catalog, space, cache, &coord_compute, k_m, k_r)
+                    .map(|r| (ci, r))
             })
             .collect();
 
-        // Coordinator planning compute depends only on its tier.
-        let coord_compute: Vec<f64> = tiers
+        assemble(space, col2, col3_flat)
+    }
+
+    /// Single-threaded reference construction: runs the same recipe
+    /// functions as [`PlannerDag::build`] on plain iterators and feeds
+    /// the identical assembly, so the two are bit-identical by
+    /// construction (and a test asserts it stays that way).
+    pub fn build_serial(
+        job: &JobSpec,
+        platform: &Platform,
+        catalog: &PriceCatalog,
+        space: &ConfigSpace,
+    ) -> PlannerDag {
+        job.profile.validate();
+        let cache = ModelCache::new(job, platform);
+        let coord_compute = coord_compute_per_tier(job, platform, space);
+
+        let col2: Vec<Col2Recipe> = space
+            .k_m_values
             .iter()
-            .map(|&a| coordinator_compute_secs(job.shuffle_mb(), platform, &job.profile, a))
+            .filter_map(|&k_m| col2_recipe(platform, catalog, space, &cache, k_m))
+            .collect();
+        let col3_flat: Vec<Option<(usize, Col3Recipe)>> = col2
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, r)| {
+                space
+                    .k_r_candidates(r.j)
+                    .into_iter()
+                    .map(move |k_r| (ci, r.k_m, k_r))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|(ci, k_m, k_r)| {
+                col3_recipe(platform, catalog, space, &cache, &coord_compute, k_m, k_r)
+                    .map(|r| (ci, r))
+            })
             .collect();
 
-        let mut col2: HashMap<usize, NodeId> = HashMap::new();
-        for &k_m in &space.k_m_values {
-            let j = n.div_ceil(k_m);
-            if j.max(2) > platform.max_concurrency as usize {
-                continue; // Eq. 18: j <= R
-            }
-
-            let mut k_m_node: Option<NodeId> = None;
-            for (ti, &i_mem) in tiers.iter().enumerate() {
-                // Computed exactly as the analytical model does, so that a
-                // path's metrics match `astra_model::evaluate` bit for bit.
-                let phase = mapper_phase(job, platform, i_mem, k_m);
-                if phase.duration_s > platform.timeout_s {
-                    continue; // this tier is too slow for this k_M
-                }
-                let cost = mapper_edge_cost(job, &phase, i_mem, platform, catalog);
-                let node = *k_m_node
-                    .get_or_insert_with(|| g.add_node(Choice::ObjectsPerMapper(k_m)));
-                g.add_edge(col1[ti], node, metrics(phase.duration_s, cost));
-            }
-            if let Some(node) = k_m_node {
-                col2.insert(k_m, node);
-            }
-        }
-
-        // Columns 3 and 4 plus the heavy final edge set.
-        for (&k_m, &k_m_node) in &col2 {
-            let j = n.div_ceil(k_m);
-            let outputs = mapper_outputs(job, k_m);
-            for k_r in space.k_r_candidates(j) {
-                let structure = reduce_structure(&outputs, k_r, &job.profile, platform);
-                // Eq. 18 storage cap: D + S(state) + Q <= O.
-                let state_mb = job.profile.state_object_mb * structure.num_steps() as f64;
-                if job.total_mb() + state_mb + total_input_mb(&structure.steps)
-                    > platform.max_storage_mb
-                {
-                    continue;
-                }
-                // Concurrency: widest reduce step + the waiting coordinator.
-                let widest = structure
-                    .steps
-                    .iter()
-                    .map(|s| s.reducers())
-                    .max()
-                    .unwrap_or(0);
-                if widest + 1 > platform.max_concurrency as usize {
-                    continue;
-                }
-
-                let col3_node = g.add_node(Choice::ObjectsPerReducer { k_m, k_r });
-                let e2_cost = orchestration_requests_cost(&structure, platform, catalog);
-                g.add_edge(k_m_node, col3_node, metrics(0.0, e2_cost));
-
-                // Per reducer tier: full reducer lifetimes, phase span,
-                // reducer bills — all independent of the coordinator tier.
-                struct PerTier {
-                    phase_s: f64,
-                    wait_before_last_s: f64,
-                    edge_cost_excl_coord: Money,
-                    feasible: bool,
-                }
-                let per_tier: Vec<PerTier> = tiers
-                    .iter()
-                    .map(|&s_mem| {
-                        let times =
-                            reduce_tier_times(&structure, platform, &job.profile, s_mem);
-                        let feasible = times
-                            .per_reducer_s
-                            .iter()
-                            .flatten()
-                            .all(|&t| t <= platform.timeout_s);
-                        let wait_before_last: f64 = times.per_step_max_s
-                            [..times.per_step_max_s.len() - 1]
-                            .iter()
-                            .sum();
-                        // reduce_edge_cost with a zero-duration coordinator
-                        // gives the coordinator-independent part.
-                        let cost_excl = reduce_edge_cost(
-                            job,
-                            &structure,
-                            &times,
-                            s_mem,
-                            tiers[0],
-                            0.0,
-                            platform,
-                            catalog,
-                        );
-                        PerTier {
-                            phase_s: times.duration_s(),
-                            wait_before_last_s: wait_before_last,
-                            edge_cost_excl_coord: cost_excl,
-                            feasible,
-                        }
-                    })
-                    .collect();
-
-                for (ai, &a_mem) in tiers.iter().enumerate() {
-                    let state_put_s = coordinator_state_put_secs(
-                        structure.num_steps(),
-                        platform,
-                        &job.profile,
-                        a_mem,
-                    );
-                    let t2_s = coord_compute[ai] + state_put_s;
-                    let col4_node = g.add_node(Choice::CoordinatorMem {
-                        k_m,
-                        k_r,
-                        mem: a_mem,
-                    });
-                    let e3_cost = coordinator_storage_cost(job, &structure, t2_s, platform, catalog);
-                    g.add_edge(col3_node, col4_node, metrics(t2_s, e3_cost));
-
-                    let last_spawn_s = *structure
-                        .per_step_spawn_s
-                        .last()
-                        .expect("at least one step");
-                    for (si, tier) in per_tier.iter().enumerate() {
-                        if !tier.feasible {
-                            continue;
-                        }
-                        // The coordinator waits through the first P-1
-                        // steps and pays the final step's launch latency
-                        // before exiting (PerfBreakdown::coordinator_billed_s).
-                        let coord_billed_s = t2_s + tier.wait_before_last_s + last_spawn_s;
-                        if coord_billed_s > platform.timeout_s {
-                            continue;
-                        }
-                        let coord_cost =
-                            runtime_cost(coord_billed_s, a_mem, &catalog.lambda);
-                        let e4_cost = tier.edge_cost_excl_coord + coord_cost;
-                        g.add_edge(
-                            col4_node,
-                            col5[si],
-                            metrics(tier.phase_s, e4_cost),
-                        );
-                    }
-                }
-            }
-        }
-
-        PlannerDag {
-            graph: g,
-            source,
-            sink,
-        }
+        assemble(space, col2, col3_flat)
     }
 
     /// The underlying graph.
@@ -365,20 +457,84 @@ impl PlannerDag {
     }
 }
 
-/// Per-mapper input sizes for `k_M` (consecutive greedy assignment).
-fn mapper_inputs(job: &JobSpec, k_m: usize) -> Vec<f64> {
-    astra_model::distribute::distribute_sizes(&job.object_sizes_mb, k_m)
-        .into_iter()
-        .map(|objs| objs.iter().sum())
+/// Coordinator planning compute per tier (depends only on its tier).
+fn coord_compute_per_tier(job: &JobSpec, platform: &Platform, space: &ConfigSpace) -> Vec<f64> {
+    space
+        .memory_tiers_mb
+        .iter()
+        .map(|&a| coordinator_compute_secs(job.shuffle_mb(), platform, &job.profile, a))
         .collect()
 }
 
-/// Mapper output sizes for `k_M`.
-fn mapper_outputs(job: &JobSpec, k_m: usize) -> Vec<f64> {
-    mapper_inputs(job, k_m)
-        .into_iter()
-        .map(|d| d * job.profile.shuffle_ratio)
-        .collect()
+/// Assemble the graph from collected recipes. This is the single
+/// authority on node/edge order: columns 1 and 5 in tier order, column 2
+/// in `k_m_values` order (mapper edges grouped per `k_M`, in tier
+/// order), then per `(k_M, k_R)` in candidate order the column-3 node,
+/// its `e2` edge, and per coordinator tier the column-4 node, its `e3`
+/// edge and the final edges in reducer-tier order.
+fn assemble(
+    space: &ConfigSpace,
+    col2: Vec<Col2Recipe>,
+    col3_flat: Vec<Option<(usize, Col3Recipe)>>,
+) -> PlannerDag {
+    let tiers = &space.memory_tiers_mb;
+    let mut g: DiGraph<Choice, EdgeMetrics> = DiGraph::new();
+    let source = g.add_node(Choice::Source);
+    let sink = g.add_node(Choice::Sink);
+
+    // Column 1 (mapper memory) and column 5 (reducer memory) are shared
+    // across all partitioning choices.
+    let col1: Vec<NodeId> = tiers
+        .iter()
+        .map(|&m| {
+            let id = g.add_node(Choice::MapperMem(m));
+            g.add_edge(source, id, metrics(0.0, Money::ZERO));
+            id
+        })
+        .collect();
+    let col5: Vec<NodeId> = tiers
+        .iter()
+        .map(|&m| {
+            let id = g.add_node(Choice::ReducerMem(m));
+            g.add_edge(id, sink, metrics(0.0, Money::ZERO));
+            id
+        })
+        .collect();
+
+    let col2_nodes: Vec<NodeId> = col2
+        .iter()
+        .map(|r| {
+            let node = g.add_node(Choice::ObjectsPerMapper(r.k_m));
+            for &(ti, m) in &r.mapper_edges {
+                g.add_edge(col1[ti], node, m);
+            }
+            node
+        })
+        .collect();
+
+    for (ci, recipe) in col3_flat.into_iter().flatten() {
+        let k_m = col2[ci].k_m;
+        let k_r = recipe.k_r;
+        let col3_node = g.add_node(Choice::ObjectsPerReducer { k_m, k_r });
+        g.add_edge(col2_nodes[ci], col3_node, recipe.e2);
+        for (ai, coord) in recipe.per_coord.into_iter().enumerate() {
+            let col4_node = g.add_node(Choice::CoordinatorMem {
+                k_m,
+                k_r,
+                mem: tiers[ai],
+            });
+            g.add_edge(col3_node, col4_node, coord.e3);
+            for (si, m) in coord.final_edges {
+                g.add_edge(col4_node, col5[si], m);
+            }
+        }
+    }
+
+    PlannerDag {
+        graph: g,
+        source,
+        sink,
+    }
 }
 
 #[cfg(test)]

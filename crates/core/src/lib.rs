@@ -30,6 +30,7 @@
 
 pub mod alg1;
 pub mod astra;
+pub mod cache;
 pub mod dag;
 pub mod objective;
 pub mod plan;
@@ -37,6 +38,7 @@ pub mod solver;
 pub mod space;
 
 pub use astra::{Astra, PlanError};
+pub use cache::ModelCache;
 pub use dag::{Choice, EdgeMetrics, PlannerDag};
 pub use objective::Objective;
 pub use plan::{Plan, PlanSpec, ReduceSpec};

@@ -4,9 +4,11 @@ use astra_graph::csp::constrained_shortest_path;
 use astra_graph::yen::KShortestPaths;
 use astra_model::{evaluate, JobConfig, JobSpec, Platform};
 use astra_pricing::{Money, PriceCatalog};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::alg1::algorithm1_capped;
+use crate::cache::ModelCache;
 use crate::dag::PlannerDag;
 use crate::objective::Objective;
 use crate::space::ConfigSpace;
@@ -112,7 +114,47 @@ pub fn solve_on_dag(dag: &PlannerDag, objective: Objective, strategy: Strategy) 
 
 /// Brute-force reference solver: evaluate every configuration in `space`
 /// with the analytical model and pick the constrained optimum.
+///
+/// Evaluations run in parallel through a shared [`ModelCache`]; the
+/// reduction picks the lexicographic minimum of `(objective key,
+/// enumeration index)`, which reproduces the serial first-wins tie-break
+/// of [`solve_exhaustive_serial`] exactly for every thread count.
 pub fn solve_exhaustive(
+    job: &JobSpec,
+    platform: &Platform,
+    catalog: &PriceCatalog,
+    space: &ConfigSpace,
+    objective: Objective,
+) -> Option<JobConfig> {
+    let cache = ModelCache::new(job, platform);
+    let configs: Vec<JobConfig> = space.iter_configs(job).collect();
+    configs
+        .into_par_iter()
+        .enumerate()
+        .filter_map(|(idx, config)| {
+            let ev = cache.evaluate(&config, catalog).ok()?;
+            let (jct, bill) = (ev.jct_s(), ev.total_cost());
+            let feasible = match objective {
+                Objective::MinimizeTime { budget } => bill <= budget,
+                Objective::MinimizeCost { deadline_s } => jct <= deadline_s,
+            };
+            if !feasible {
+                return None;
+            }
+            let key = match objective {
+                Objective::MinimizeTime { .. } => jct,
+                Objective::MinimizeCost { .. } => bill.nanos() as f64,
+            };
+            Some((key, idx, config))
+        })
+        .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+        .map(|(_, _, c)| c)
+}
+
+/// Single-threaded, uncached reference for [`solve_exhaustive`]: the
+/// original sequential sweep, kept verbatim so equivalence tests can
+/// assert the parallel+cached path returns bit-identical plans.
+pub fn solve_exhaustive_serial(
     job: &JobSpec,
     platform: &Platform,
     catalog: &PriceCatalog,

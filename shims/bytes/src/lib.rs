@@ -1,0 +1,133 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is an immutable, reference-counted byte buffer: cloning is
+//! an `Arc` bump, exactly the property the in-memory object store relies
+//! on when fanning the same object out to many simulated workers.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply clonable immutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Wrap a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(Arc::from(bytes))
+    }
+
+    /// Copy an arbitrary slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes(len={})", self.len())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes(Arc::from(s.into_bytes()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        **self == *other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        **self == **other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        **self == other[..]
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(Arc::strong_count(&a.0), 2);
+    }
+
+    #[test]
+    fn comparisons_against_slices() {
+        let a = Bytes::from_static(b"hello");
+        assert_eq!(a, b"hello");
+        assert_eq!(a.len(), 5);
+        assert_eq!(&a[..2], b"he");
+    }
+}

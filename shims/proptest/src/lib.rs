@@ -1,0 +1,331 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the strategy combinators and macros this workspace uses:
+//! numeric-range strategies, tuples, `prop_map`, `Just`,
+//! `collection::vec`, `bool::ANY`, `ProptestConfig::with_cases`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - no shrinking: a failing case reports its seed and case number
+//!   instead of a minimized input;
+//! - deterministic seeding derived from the test's module path and case
+//!   index, so failures reproduce exactly across runs and machines.
+
+use rand::rngs::StdRng;
+
+/// Strategy combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Generates values of `Value` from a seeded RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Map<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl Strategy for core::ops::Range<i128> {
+        type Value = i128;
+        fn generate(&self, rng: &mut StdRng) -> i128 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let span = (self.end - self.start) as u128;
+            let wide = ((rng.random::<u64>() as u128) << 64) | rng.random::<u64>() as u128;
+            self.start + (wide % span) as i128
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements
+    /// come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Uniform `true` / `false`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.random::<bool>()
+        }
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Stable 64-bit seed from a test identifier (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Per-case RNG (exposed for the macro expansion).
+pub fn rng_for_case(base: u64, case: u32) -> StdRng {
+    use rand::SeedableRng;
+    StdRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` body runs
+/// for `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __base = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::rng_for_case(__base, __case);
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )*
+                    let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| { $body }));
+                    if let Err(panic) = __result {
+                        eprintln!(
+                            "proptest: property '{}' failed at case {}/{} (base seed {:#018x})",
+                            stringify!($name), __case + 1, __cfg.cases, __base,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Property-test assertion (plain `assert!` without shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// (Upstream re-draws the case; here the case is simply not counted.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, f64)> + Clone {
+        (1usize..10, 0.0f64..1.0).prop_map(|(n, x)| (n * 2, x))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..9, x in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(xs in crate::collection::vec(0u64..5, 1..20)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn mapped_tuples_compose(p in arb_pair()) {
+            prop_assert_eq!(p.0 % 2, 0);
+        }
+
+        #[test]
+        fn bools_generate(b in crate::bool::ANY) {
+            prop_assert!(matches!(b, true | false));
+        }
+
+        #[test]
+        fn i128_ranges(v in -1_000_000_000i128..1_000_000_000) {
+            prop_assert!((-1_000_000_000..1_000_000_000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        use crate::strategy::Strategy;
+        let s = (0u64..1000, 0.0f64..1.0);
+        let a: Vec<_> = (0..10)
+            .map(|c| s.generate(&mut crate::rng_for_case(42, c)))
+            .collect();
+        let b: Vec<_> = (0..10)
+            .map(|c| s.generate(&mut crate::rng_for_case(42, c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` derive names the workspace
+//! imports. The derives are no-ops (see `serde_derive`); no code here
+//! ever serializes through serde — JSON output goes through the
+//! `serde_json` stand-in's `Value` type instead.
+
+pub use serde_derive::{Deserialize, Serialize};

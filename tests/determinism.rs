@@ -22,6 +22,35 @@ fn planner_is_deterministic() {
 }
 
 #[test]
+fn plans_are_stable_across_thread_counts() {
+    // The parallel planner must emit the same plan, cost, and JCT bits
+    // whether it runs on 1, 2, or 8 worker threads, in both solver
+    // directions. `RAYON_NUM_THREADS` is re-read per parallel call, so
+    // sweeping it inside one process is sound (and other tests in this
+    // binary are thread-count independent by this very property).
+    let job = WorkloadSpec::wordcount_gb(1).into_job();
+    let astra = Astra::with_defaults();
+    for objective in [
+        Objective::min_time_with_budget_dollars(0.004),
+        Objective::min_cost_with_deadline_s(120.0),
+    ] {
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let reference = astra.plan(&job, objective).unwrap();
+        for threads in ["2", "8"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let plan = astra.plan(&job, objective).unwrap();
+            assert_eq!(plan.spec, reference.spec, "{objective} @{threads} threads");
+            assert_eq!(plan.predicted_cost(), reference.predicted_cost());
+            assert_eq!(
+                plan.predicted_jct_s().to_bits(),
+                reference.predicted_jct_s().to_bits()
+            );
+        }
+        std::env::remove_var("RAYON_NUM_THREADS");
+    }
+}
+
+#[test]
 fn noisy_simulation_is_seed_deterministic() {
     let job = WorkloadSpec::QueryUservisits.into_job();
     let plan = Astra::with_defaults()

@@ -128,6 +128,37 @@ proptest! {
         }
     }
 
+    /// The memoized model cache is transparent: for every configuration
+    /// in the space, cached evaluation agrees with the uncached model to
+    /// the last nano-dollar (and the last JCT bit), including which
+    /// configurations are infeasible and why.
+    #[test]
+    fn model_cache_is_transparent(job in arb_job()) {
+        let platform = Platform::aws_lambda();
+        let space = ConfigSpace::with_tiers(&job, &platform, &[128, 768, 1792]);
+        let catalog = PriceCatalog::aws_2020();
+        let cache = astra::core::ModelCache::new(&job, &platform);
+        for config in space.iter_configs(&job) {
+            let cached = cache.evaluate(&config, &catalog);
+            let uncached = evaluate(&job, &platform, &config, &catalog);
+            match (cached, uncached) {
+                (Ok(c), Ok(u)) => {
+                    prop_assert_eq!(c.total_cost(), u.total_cost(), "cost for {:?}", config);
+                    prop_assert_eq!(
+                        c.jct_s().to_bits(),
+                        u.jct_s().to_bits(),
+                        "jct {} vs {} for {:?}",
+                        c.jct_s(),
+                        u.jct_s(),
+                        config
+                    );
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (c, u) => prop_assert!(false, "feasibility disagrees for {:?}: cached {:?}, uncached {:?}", config, c, u),
+            }
+        }
+    }
+
     /// Whatever the planner returns must re-evaluate to the same numbers
     /// through the public model API (no internal inconsistencies).
     #[test]
