@@ -19,82 +19,13 @@
 //! Regression checks compare `min_ms` (the most noise-robust statistic a
 //! small sample offers) for every bench name present in both files.
 
-use std::time::Instant;
-
+use astra_bench::runner::{run_cli, time_ms, BenchArgs};
 use astra_bench::{binding_budget, full_space, planner, synthetic_job};
 use astra_core::solver::{solve_exhaustive, solve_exhaustive_serial, solve_on_dag};
 use astra_core::{ConfigSpace, PlannerDag, Strategy};
 use serde_json::{json, Value};
 
-struct Args {
-    out: String,
-    check: Option<String>,
-    tolerance: f64,
-    sizes: Vec<usize>,
-    samples: usize,
-    threads: Option<usize>,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        out: "BENCH_planner.json".to_string(),
-        check: None,
-        tolerance: 0.20,
-        sizes: vec![10, 50, 202],
-        samples: 5,
-        threads: None,
-    };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        let flag = argv[i].as_str();
-        let value = |i: usize| -> Result<&String, String> {
-            argv.get(i + 1).ok_or(format!("flag '{flag}' needs a value"))
-        };
-        match flag {
-            "--out" => args.out = value(i)?.clone(),
-            "--check" => args.check = Some(value(i)?.clone()),
-            "--tolerance" => {
-                args.tolerance = value(i)?.parse().map_err(|e| format!("--tolerance: {e}"))?
-            }
-            "--sizes" => {
-                args.sizes = match value(i)?.as_str() {
-                    "tiny" => vec![10],
-                    "full" => vec![10, 50, 202],
-                    other => return Err(format!("--sizes must be tiny|full, got '{other}'")),
-                }
-            }
-            "--samples" => {
-                args.samples = value(i)?.parse().map_err(|e| format!("--samples: {e}"))?
-            }
-            "--threads" => {
-                args.threads = Some(value(i)?.parse().map_err(|e| format!("--threads: {e}"))?)
-            }
-            other => return Err(format!("unknown flag '{other}'")),
-        }
-        i += 2;
-    }
-    if args.samples == 0 {
-        return Err("--samples must be >= 1".into());
-    }
-    Ok(args)
-}
-
-/// Time `samples` runs of `f` (after one warmup); returns (mean, min) ms.
-fn time_ms<O>(samples: usize, mut f: impl FnMut() -> O) -> (f64, f64) {
-    std::hint::black_box(f());
-    let mut times = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let start = Instant::now();
-        std::hint::black_box(f());
-        times.push(start.elapsed().as_secs_f64() * 1e3);
-    }
-    let mean = times.iter().sum::<f64>() / times.len() as f64;
-    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
-    (mean, min)
-}
-
-fn run_suite(args: &Args) -> Value {
+fn run_suite(args: &BenchArgs) -> Value {
     let astra = planner(Strategy::ExactCsp);
     let mut results: Vec<Value> = Vec::new();
     let mut speedups: Vec<Value> = Vec::new();
@@ -207,77 +138,12 @@ fn run_suite(args: &Args) -> Value {
     })
 }
 
-/// Compare `current` against `baseline`; returns the regressions found.
-fn regressions(current: &Value, baseline: &Value, tolerance: f64) -> Vec<String> {
-    let empty = Vec::new();
-    let base: Vec<(&str, f64)> = baseline["results"]
-        .as_array()
-        .unwrap_or(&empty)
-        .iter()
-        .filter_map(|r| Some((r["name"].as_str()?, r["min_ms"].as_f64()?)))
-        .collect();
-    let mut out = Vec::new();
-    for r in current["results"].as_array().unwrap_or(&empty) {
-        let (Some(name), Some(min)) = (r["name"].as_str(), r["min_ms"].as_f64()) else {
-            continue;
-        };
-        if let Some(&(_, base_min)) = base.iter().find(|(b, _)| *b == name) {
-            if min > base_min * (1.0 + tolerance) {
-                out.push(format!(
-                    "{name}: {min:.2} ms vs baseline {base_min:.2} ms (+{:.0}% > +{:.0}% allowed)",
-                    (min / base_min - 1.0) * 100.0,
-                    tolerance * 100.0
-                ));
-            }
-        }
-    }
-    out
-}
-
 fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("astra-bench: {e}");
-            std::process::exit(2);
-        }
-    };
-    if let Some(n) = args.threads {
-        let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
-    }
-
-    // Load the baseline before spending bench time, so a bad path or
-    // corrupt file fails in milliseconds rather than after the suite.
-    let baseline: Option<Value> = args.check.as_ref().map(|baseline_path| {
-        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
-            eprintln!("astra-bench: cannot read baseline {baseline_path}: {e}");
-            std::process::exit(2);
-        });
-        serde_json::from_str(&text).unwrap_or_else(|e| {
-            eprintln!("astra-bench: baseline {baseline_path} is not valid JSON: {e}");
-            std::process::exit(2);
-        })
-    });
-
-    let report = run_suite(&args);
-
-    if let (Some(baseline_path), Some(baseline)) = (&args.check, &baseline) {
-        let bad = regressions(&report, baseline, args.tolerance);
-        if bad.is_empty() {
-            println!(
-                "astra-bench: no regressions beyond {:.0}% against {baseline_path}",
-                args.tolerance * 100.0
-            );
-        } else {
-            eprintln!("astra-bench: performance regressions detected:");
-            for b in &bad {
-                eprintln!("  {b}");
-            }
-            std::process::exit(1);
-        }
-    } else {
-        let text = serde_json::to_string_pretty(&report).expect("report serializes");
-        std::fs::write(&args.out, text + "\n").expect("write report");
-        println!("astra-bench: wrote {}", args.out);
-    }
+    run_cli(
+        "astra-bench",
+        "BENCH_planner.json",
+        &[10],
+        &[10, 50, 202],
+        run_suite,
+    );
 }

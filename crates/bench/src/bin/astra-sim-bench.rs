@@ -1,0 +1,142 @@
+//! Fixed-size simulator benchmark runner with a regression gate.
+//!
+//! The planner gate (`astra-bench`) covers plan construction; this
+//! runner covers the other half of the evaluation pipeline — the
+//! discrete-event simulator and the parallel sweep machinery every
+//! experiment is built on. It executes a pinned suite at fixed sizes:
+//!
+//! * `sim_single/N{n}` — one end-to-end simulation of an N-object job
+//!   (compile + event loop), with the event count and derived events/sec
+//!   throughput recorded alongside the timing;
+//! * `sweep_serial/N{n}` / `sweep_parallel/N{n}` — a 16-replication
+//!   noisy seed sweep run as a serial loop versus `simulate_batch`,
+//!   with the speedup recorded.
+//!
+//! ```text
+//! astra-sim-bench [--out FILE]          write results (default BENCH_sim.json)
+//!                 [--check BASELINE]    compare against a baseline instead;
+//!                                       exit 1 if any shared metric regressed
+//!                 [--tolerance FRAC]    allowed relative slowdown (default 0.20)
+//!                 [--sizes tiny|full]   tiny = N=202 only (CI); full = 50/202/1000
+//!                 [--samples N]         timed samples per bench (default 5)
+//!                 [--threads N]         pin the sweep thread count
+//! ```
+//!
+//! Regression checks compare `min_ms` for every bench name present in
+//! both files, exactly like the planner gate.
+
+use astra_bench::runner::{run_cli, time_ms, BenchArgs};
+use astra_bench::{planner, synthetic_job};
+use astra_core::{Objective, Strategy};
+use astra_faas::{derive_seed, SimConfig};
+use astra_mapreduce::{simulate, simulate_batch, SimCase};
+use astra_model::Platform;
+use serde_json::{json, Value};
+
+/// Replications per sweep bench: enough to keep every core busy.
+const SWEEP_RUNS: u64 = 16;
+/// Noise CV for the benched runs (the harness's default).
+const NOISE_CV: f64 = 0.10;
+
+fn config(seed: u64) -> SimConfig {
+    SimConfig::deterministic(Platform::aws_lambda()).with_noise(NOISE_CV, seed)
+}
+
+fn run_suite(args: &BenchArgs) -> Value {
+    let astra = planner(Strategy::ExactCsp);
+    let mut results: Vec<Value> = Vec::new();
+    let mut speedups: Vec<Value> = Vec::new();
+
+    for &n in &args.sizes {
+        let job = synthetic_job(n);
+        let plan = astra
+            .plan(&job, Objective::fastest())
+            .expect("synthetic job plans");
+
+        // Single-run event throughput.
+        let report = simulate(&job, &plan, config(7)).expect("bench run succeeds");
+        let events = report.events;
+        let (mean, min) = time_ms(args.samples, || {
+            simulate(&job, &plan, config(7)).expect("bench run succeeds")
+        });
+        let events_per_sec = events as f64 / (min / 1e3);
+        eprintln!(
+            "bench sim_single/N{n}: mean {mean:.2} ms, min {min:.2} ms \
+             ({events} events, {events_per_sec:.0} events/s)"
+        );
+        results.push(json!({
+            "name": format!("sim_single/N{n}"),
+            "n": n,
+            "mean_ms": mean,
+            "min_ms": min,
+            "events": events,
+            "events_per_sec": events_per_sec,
+        }));
+
+        // Seed-sweep scaling: serial loop vs simulate_batch fan-out.
+        let seeds: Vec<u64> = (0..SWEEP_RUNS).map(|i| derive_seed(7, i)).collect();
+        let (serial_mean, serial_min) = time_ms(args.samples, || {
+            let reports: Vec<_> = seeds
+                .iter()
+                .map(|&s| simulate(&job, &plan, config(s)).expect("bench run succeeds"))
+                .collect();
+            reports.len()
+        });
+        eprintln!("bench sweep_serial/N{n}: mean {serial_mean:.2} ms, min {serial_min:.2} ms");
+        results.push(json!({
+            "name": format!("sweep_serial/N{n}"),
+            "n": n,
+            "runs": SWEEP_RUNS,
+            "mean_ms": serial_mean,
+            "min_ms": serial_min,
+        }));
+        let (par_mean, par_min) = time_ms(args.samples, || {
+            let cases: Vec<SimCase<'_>> = seeds
+                .iter()
+                .map(|&s| SimCase {
+                    job: &job,
+                    plan: &plan,
+                    config: config(s),
+                })
+                .collect();
+            simulate_batch(cases).len()
+        });
+        eprintln!("bench sweep_parallel/N{n}: mean {par_mean:.2} ms, min {par_min:.2} ms");
+        results.push(json!({
+            "name": format!("sweep_parallel/N{n}"),
+            "n": n,
+            "runs": SWEEP_RUNS,
+            "mean_ms": par_mean,
+            "min_ms": par_min,
+        }));
+        speedups.push(json!({
+            "name": format!("sweep/N{n}"),
+            "serial_ms": serial_min,
+            "parallel_ms": par_min,
+            "speedup": serial_min / par_min,
+        }));
+    }
+
+    json!({
+        "schema_version": 1,
+        "suite": "astra-sim-bench",
+        "cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "threads": rayon::current_num_threads(),
+        "samples": args.samples,
+        "results": results,
+        "speedups": speedups,
+    })
+}
+
+fn main() {
+    // Sizes start at N=50 (unlike the planner gate's N=10) so every
+    // timed sample is comfortably above timer noise — a single N=10
+    // simulation finishes in ~20 µs, too little signal to gate on.
+    run_cli(
+        "astra-sim-bench",
+        "BENCH_sim.json",
+        &[202],
+        &[50, 202, 1000],
+        run_suite,
+    );
+}

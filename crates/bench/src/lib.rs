@@ -14,6 +14,8 @@ use astra_model::{JobSpec, Platform, WorkloadProfile};
 use astra_pricing::PriceCatalog;
 use astra_workloads::WorkloadSpec;
 
+pub mod runner;
+
 /// The default planner over the evaluation platform.
 pub fn planner(strategy: Strategy) -> Astra {
     Astra::new(Platform::aws_lambda(), PriceCatalog::aws_2020(), strategy)

@@ -58,27 +58,45 @@ pub fn run(out: &mut Output) {
     out.heading("Fig. 1 / Fig. 2: JCT and cost vs objects per lambda (10 objects, 2 MB total)");
     out.blank();
 
+    // Evaluate all 27 plans up front, then measure the whole k × memory
+    // grid as one parallel batch (results come back in grid order).
+    let grid: Vec<(usize, u32, Plan)> = K_RANGE
+        .flat_map(|k| MEMORIES.iter().map(move |&mem| (k, mem)))
+        .map(|(k, mem)| {
+            let spec = PlanSpec {
+                mapper_mem_mb: mem,
+                coordinator_mem_mb: mem,
+                reducer_mem_mb: mem,
+                objects_per_mapper: k,
+                reduce_spec: ReduceSpec::PerReducer(k),
+            };
+            (k, mem, harness::evaluate_relaxed(&job, spec))
+        })
+        .collect();
+    let cases: Vec<_> = grid.iter().map(|(_, _, plan)| (&job, plan)).collect();
+    let measurements = harness::measure_batch(&cases, harness::NOISE_CV, &harness::SEEDS);
+
     let mut jct_rows = Vec::new();
     let mut cost_rows = Vec::new();
     let mut json_points = Vec::new();
-    for k in K_RANGE {
-        let mut jct_row = vec![k.to_string()];
-        let mut cost_row = vec![k.to_string()];
-        for &mem in &MEMORIES {
-            let (plan, measured) = sweep_point(&job, k, mem);
-            jct_row.push(format!("{:.2}", measured.jct_s));
-            cost_row.push(format!("{:.6}", measured.cost.dollars()));
-            json_points.push(json!({
-                "k": k,
-                "memory_mb": mem,
-                "jct_s": measured.jct_s,
-                "cost_dollars": measured.cost.dollars(),
-                "predicted_jct_s": plan.predicted_jct_s(),
-                "predicted_cost_dollars": plan.predicted_cost().dollars(),
-            }));
+    for ((k, mem, plan), measured) in grid.iter().zip(&measurements) {
+        if *mem == MEMORIES[0] {
+            jct_rows.push(vec![k.to_string()]);
+            cost_rows.push(vec![k.to_string()]);
         }
-        jct_rows.push(jct_row);
-        cost_rows.push(cost_row);
+        jct_rows.last_mut().unwrap().push(format!("{:.2}", measured.jct_s));
+        cost_rows
+            .last_mut()
+            .unwrap()
+            .push(format!("{:.6}", measured.cost.dollars()));
+        json_points.push(json!({
+            "k": *k,
+            "memory_mb": *mem,
+            "jct_s": measured.jct_s,
+            "cost_dollars": measured.cost.dollars(),
+            "predicted_jct_s": plan.predicted_jct_s(),
+            "predicted_cost_dollars": plan.predicted_cost().dollars(),
+        }));
     }
 
     out.line("Fig. 1 — job completion time (s), measured on the simulator:");

@@ -20,19 +20,29 @@ pub fn run(out: &mut Output) {
     out.blank();
 
     let job = WorkloadSpec::wordcount_gb(1).into_job();
+    // Evaluate every memory tier's plan, then measure the whole sweep as
+    // one parallel batch.
+    let tiers = harness::platform().memory_tiers_mb.clone();
+    let plans: Vec<_> = tiers
+        .iter()
+        .map(|&mem| {
+            let spec = PlanSpec {
+                mapper_mem_mb: mem,
+                coordinator_mem_mb: mem,
+                reducer_mem_mb: mem,
+                objects_per_mapper: 2,
+                reduce_spec: ReduceSpec::PerReducer(2),
+            };
+            harness::evaluate_relaxed(&job, spec)
+        })
+        .collect();
+    let cases: Vec<_> = plans.iter().map(|plan| (&job, plan)).collect();
+    let measurements = harness::measure_batch(&cases, harness::NOISE_CV, &harness::SEEDS);
+
     let mut rows = Vec::new();
     let mut points = Vec::new();
-    for mem in harness::platform().memory_tiers_mb.clone() {
+    for ((&mem, plan), measured) in tiers.iter().zip(&plans).zip(&measurements) {
         // Sample every other tier for the table; JSON gets them all.
-        let spec = PlanSpec {
-            mapper_mem_mb: mem,
-            coordinator_mem_mb: mem,
-            reducer_mem_mb: mem,
-            objects_per_mapper: 2,
-            reduce_spec: ReduceSpec::PerReducer(2),
-        };
-        let plan = harness::evaluate_relaxed(&job, spec);
-        let measured = harness::measure(&job, &plan);
         let mapper_s = plan.evaluation.perf.mapper.duration_s;
         points.push(json!({
             "memory_mb": mem,

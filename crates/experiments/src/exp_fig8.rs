@@ -37,13 +37,19 @@ pub fn compare(spec: WorkloadSpec) -> QosComparison {
     let astra_plan = harness::astra()
         .plan(&job, Objective::min_cost_with_deadline_s(deadline_s))
         .expect("deadline above the fastest plan is feasible");
-    let astra = harness::measure(&job, &astra_plan);
-    let baselines = Baseline::all()
+    let baseline_plans: Vec<(&'static str, Plan)> = Baseline::all()
         .into_iter()
-        .map(|b| {
-            let plan = harness::evaluate_relaxed(&job, b.spec_for(&job));
-            (b.name, harness::measure(&job, &plan))
-        })
+        .map(|b| (b.name, harness::evaluate_relaxed(&job, b.spec_for(&job))))
+        .collect();
+    // Astra and all three baselines share one parallel measurement batch.
+    let mut cases = vec![(&job, &astra_plan)];
+    cases.extend(baseline_plans.iter().map(|(_, p)| (&job, p)));
+    let mut measured = harness::measure_batch(&cases, harness::NOISE_CV, &harness::SEEDS);
+    let astra = measured.remove(0);
+    let baselines = baseline_plans
+        .iter()
+        .zip(measured)
+        .map(|(&(name, _), m)| (name, m))
         .collect();
     QosComparison {
         spec,

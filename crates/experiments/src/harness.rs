@@ -2,7 +2,7 @@
 
 use astra_core::{Astra, Objective, Plan, PlanSpec, Strategy};
 use astra_faas::{SimConfig, SimReport};
-use astra_mapreduce::simulate;
+use astra_mapreduce::{simulate, simulate_batch, SimCase};
 use astra_model::{JobSpec, Platform};
 use astra_pricing::{Money, PriceCatalog};
 
@@ -61,30 +61,110 @@ pub fn measure(job: &JobSpec, plan: &Plan) -> Measured {
 }
 
 /// [`measure`] with custom noise and seeds.
+///
+/// Seed replications fan out over all cores through
+/// [`simulate_batch`], then fold back in seed order — the returned
+/// [`Measured`] is bit-identical to [`measure_with_serial`] at any
+/// `RAYON_NUM_THREADS` (each seed owns an isolated RNG, and the fold
+/// order is fixed by the input order, not completion order).
 pub fn measure_with(job: &JobSpec, plan: &Plan, noise_cv: f64, seeds: &[u64]) -> Measured {
+    let reports = measure_many(&[(job, plan)], noise_cv, seeds).pop();
+    fold_reports(job, reports.expect("one case in, one case out"))
+}
+
+/// Serial reference implementation of [`measure_with`]: the plain seed
+/// loop the parallel path is tested against (see
+/// `tests/sim_batch_determinism.rs`).
+pub fn measure_with_serial(job: &JobSpec, plan: &Plan, noise_cv: f64, seeds: &[u64]) -> Measured {
     let mut relaxed = platform();
     relaxed.timeout_s = f64::INFINITY;
+    let reports = seeds
+        .iter()
+        .map(|&seed| {
+            let config = SimConfig::deterministic(relaxed.clone()).with_noise(noise_cv, seed);
+            simulate(job, plan, config)
+                .unwrap_or_else(|e| panic!("simulation of {} failed: {e}", job.name))
+        })
+        .collect();
+    fold_reports(job, reports)
+}
+
+/// Measure many `(job, plan)` cases at once: the full `cases × seeds`
+/// grid flattens into one [`simulate_batch`] fan-out (saturating the
+/// machine even when each case has few seeds), then folds per case.
+/// Results come back in `cases` order and are bit-identical to calling
+/// [`measure_with`] on each case in turn.
+pub fn measure_batch(cases: &[(&JobSpec, &Plan)], noise_cv: f64, seeds: &[u64]) -> Vec<Measured> {
+    let mut grids = measure_many(cases, noise_cv, seeds);
+    cases
+        .iter()
+        .zip(grids.drain(..))
+        .map(|(&(job, _), reports)| fold_reports(job, reports))
+        .collect()
+}
+
+/// Run the `cases × seeds` grid in parallel; returns per-case report
+/// vectors in seed order.
+fn measure_many(
+    cases: &[(&JobSpec, &Plan)],
+    noise_cv: f64,
+    seeds: &[u64],
+) -> Vec<Vec<SimReport>> {
+    let mut relaxed = platform();
+    relaxed.timeout_s = f64::INFINITY;
+    let grid: Vec<SimCase<'_>> = cases
+        .iter()
+        .flat_map(|&(job, plan)| {
+            let relaxed = &relaxed;
+            seeds.iter().map(move |&seed| SimCase {
+                job,
+                plan,
+                config: SimConfig::deterministic(relaxed.clone()).with_noise(noise_cv, seed),
+            })
+        })
+        .collect();
+    let mut results = simulate_batch(grid).into_iter();
+    cases
+        .iter()
+        .map(|&(job, _)| {
+            seeds
+                .iter()
+                .map(|_| {
+                    results
+                        .next()
+                        .expect("one result per grid cell")
+                        .unwrap_or_else(|e| panic!("simulation of {} failed: {e}", job.name))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Fold one case's seed-ordered reports into a [`Measured`], exactly as
+/// the historical serial loop did (same accumulation order, so float
+/// sums match bit-for-bit).
+fn fold_reports(job: &JobSpec, reports: Vec<SimReport>) -> Measured {
+    assert!(!reports.is_empty(), "no seeds for {}", job.name);
+    let n = reports.len();
     let mut jct_sum = 0.0;
     let mut cost_sum = Money::ZERO;
     let mut violations: Vec<String> = Vec::new();
     let mut last = None;
-    for &seed in seeds {
-        let config = SimConfig::deterministic(relaxed.clone()).with_noise(noise_cv, seed);
-        let report = simulate(job, plan, config)
-            .unwrap_or_else(|e| panic!("simulation of {} failed: {e}", job.name));
+    for report in reports {
         jct_sum += report.jct_s();
         cost_sum += report.total_cost();
         for inv in &report.invoices {
-            if inv.duration().as_secs_f64() > AWS_TIMEOUT_S && !violations.contains(&inv.name) {
-                violations.push(inv.name.clone());
+            if inv.duration().as_secs_f64() > AWS_TIMEOUT_S
+                && !violations.iter().any(|v| v.as_str() == &*inv.name)
+            {
+                violations.push(inv.name.to_string());
             }
         }
         last = Some(report);
     }
-    let n = seeds.len() as f64;
     Measured {
-        jct_s: jct_sum / n,
-        cost: cost_sum / seeds.len() as i128,
+        jct_s: jct_sum / n as f64,
+        cost: cost_sum.div_round(n as i128),
         timeout_violations: violations,
         last_report: last.expect("at least one seed"),
     }

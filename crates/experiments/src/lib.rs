@@ -44,3 +44,23 @@ pub mod harness;
 pub mod output;
 
 pub use output::Output;
+
+/// Pin the rayon thread pool from a `--threads N` command-line flag.
+///
+/// Every experiment binary calls this before running, so the sweep
+/// fan-out can be pinned (e.g. `--threads 1` to reproduce the serial
+/// path, or a fixed count for comparable timings) without exporting
+/// `RAYON_NUM_THREADS`. Without the flag the pool uses all cores.
+pub fn init_threads() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = argv.iter().position(|a| a == "--threads") {
+        let n: usize = argv
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threads needs a positive integer");
+                std::process::exit(2);
+            });
+        let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+    }
+}

@@ -1,5 +1,7 @@
 //! The event-driven execution engine.
 
+use std::sync::Arc;
+
 use astra_model::Platform;
 use astra_pricing::{Money, PriceCatalog};
 use astra_simcore::{
@@ -145,6 +147,9 @@ enum Event {
 
 struct LambdaState {
     spec: LambdaSpec,
+    /// The invocation name as a shared string: cloned into every trace
+    /// span and the invoice without copying the bytes.
+    name: Arc<str>,
     parent: Option<usize>,
     arrived: SimTime,
     handler_start: SimTime,
@@ -158,6 +163,11 @@ struct LambdaState {
 }
 
 /// The simulator. Create one per job run.
+///
+/// Lifecycle state lives in a slab (`states`, indexed by invocation id);
+/// events carry indices, not payloads, so the hot pop/handle/schedule
+/// cycle moves no owned data and performs no per-event allocation beyond
+/// the queue's amortized growth.
 pub struct FaasSim {
     config: SimConfig,
     queue: EventQueue<Event>,
@@ -191,14 +201,14 @@ impl FaasSim {
         }
         FaasSim {
             config,
-            queue: EventQueue::new(),
-            states: Vec::new(),
+            queue: EventQueue::with_capacity(64),
+            states: Vec::with_capacity(64),
             tokens,
             noise,
             ledger,
             inter_ledger: StorageLedger::new(),
             trace: TraceLog::new(),
-            invoices: Vec::new(),
+            invoices: Vec::with_capacity(64),
             running: 0,
             peak_running: 0,
             crashes: 0,
@@ -223,6 +233,8 @@ impl FaasSim {
 
     /// Execute `roots` (invoked at t = 0) to completion.
     pub fn run(mut self, roots: Vec<LambdaSpec>) -> Result<SimReport, SimError> {
+        self.states.reserve(roots.len());
+        self.queue.reserve(roots.len());
         for spec in roots {
             self.enqueue(spec, None)?;
         }
@@ -246,6 +258,7 @@ impl FaasSim {
             }
         };
         let lambda_cost: Money = self.invoices.iter().map(|i| i.cost).sum();
+        let events = self.queue.events_processed();
         Ok(SimReport {
             makespan,
             lambda_cost,
@@ -259,6 +272,7 @@ impl FaasSim {
             queued_invocations: self.tokens.total_waits(),
             crashes: self.crashes,
             warm_starts: self.warm_starts,
+            events,
         })
     }
 
@@ -270,8 +284,10 @@ impl FaasSim {
             });
         }
         let id = self.states.len();
+        let name: Arc<str> = Arc::from(spec.name.as_str());
         self.states.push(LambdaState {
             spec,
+            name,
             parent,
             arrived: self.queue.now(),
             handler_start: SimTime::ZERO,
@@ -305,7 +321,7 @@ impl FaasSim {
                 self.peak_running = self.peak_running.max(self.running);
                 if self.states[id].queued {
                     let arrived = self.states[id].arrived;
-                    let name = self.states[id].spec.name.clone();
+                    let name = self.states[id].name.clone();
                     self.trace
                         .record(name, SpanKind::QueuedConcurrency, arrived, now);
                 }
@@ -324,7 +340,7 @@ impl FaasSim {
                         .jitter(SimDuration::from_secs_f64(self.config.platform.cold_start_s))
                 };
                 if cold > SimDuration::ZERO {
-                    let name = self.states[id].spec.name.clone();
+                    let name = self.states[id].name.clone();
                     self.trace.record(name, SpanKind::ColdStart, now, now + cold);
                 }
                 self.queue.schedule(now + cold, Event::Ready(id));
@@ -353,8 +369,8 @@ impl FaasSim {
                     let cold = self
                         .noise
                         .jitter(SimDuration::from_secs_f64(self.config.platform.cold_start_s));
-                    let name = self.states[id].spec.name.clone();
                     if cold > SimDuration::ZERO {
+                        let name = self.states[id].name.clone();
                         self.trace.record(name, SpanKind::ColdStart, now, now + cold);
                     }
                     self.queue.schedule(now + cold, Event::Ready(id));
@@ -365,40 +381,34 @@ impl FaasSim {
             }
             Event::OpDone(id) => {
                 let now = self.queue.now();
-                enum Effect {
-                    Put(String, f64, StoreKind),
-                    Spawn(Vec<LambdaSpec>, bool),
-                    None,
-                }
-                let (kind, effect) = {
-                    let st = &self.states[id];
-                    match &st.spec.ops[st.op_idx] {
-                        Op::Get { .. } => (SpanKind::StorageGet, Effect::None),
-                        Op::Put { key, size_mb, store } => (
-                            SpanKind::StoragePut,
-                            Effect::Put(key.clone(), *size_mb, *store),
-                        ),
-                        Op::Compute { .. } => (SpanKind::Compute, Effect::None),
-                        Op::Spawn { children, wait } => (
-                            SpanKind::Compute,
-                            Effect::Spawn(children.clone(), *wait),
-                        ),
-                    }
+                let st = &self.states[id];
+                let kind = match &st.spec.ops[st.op_idx] {
+                    Op::Get { .. } => SpanKind::StorageGet,
+                    Op::Put { .. } => SpanKind::StoragePut,
+                    Op::Compute { .. } | Op::Spawn { .. } => SpanKind::Compute,
                 };
-                let start = self.states[id].op_started;
-                let name = self.states[id].spec.name.clone();
+                let start = st.op_started;
+                let name = st.name.clone();
                 self.trace.record(name, kind, start, now);
                 self.check_timeout(id)?;
-                match effect {
-                    Effect::Put(key, size, store) => {
+                let st = &mut self.states[id];
+                match &mut st.spec.ops[st.op_idx] {
+                    Op::Put { key, size_mb, store } => {
+                        let (key, size, store) = (key.clone(), *size_mb, *store);
                         self.ledger_for(store).record_put(key, size, now);
                         self.states[id].op_idx += 1;
                         self.advance(id)
                     }
-                    Effect::Spawn(children, wait) => {
+                    Op::Spawn { children, wait } => {
                         // The launch latency has elapsed; the children
-                        // arrive now.
+                        // arrive now. Each spawn fires at most once per
+                        // run (crashes restart an invocation *before* its
+                        // first op executes), so the children move out of
+                        // the script instead of being cloned.
+                        let wait = *wait;
+                        let children = std::mem::take(children);
                         let n = children.len();
+                        self.states.reserve(n);
                         for child in children {
                             self.enqueue(child, Some(id))?;
                         }
@@ -413,7 +423,7 @@ impl FaasSim {
                             self.advance(id)
                         }
                     }
-                    Effect::None => {
+                    Op::Get { .. } | Op::Compute { .. } => {
                         self.states[id].op_idx += 1;
                         self.advance(id)
                     }
@@ -423,6 +433,10 @@ impl FaasSim {
     }
 
     /// Execute the next op of lambda `id`, or finish it.
+    ///
+    /// Reads the op in place (no clone — `Op::Spawn` payloads can be
+    /// whole subtrees); the only allocation on this path is the error
+    /// case.
     fn advance(&mut self, id: usize) -> Result<(), SimError> {
         let now = self.queue.now();
         let op_idx = self.states[id].op_idx;
@@ -430,58 +444,47 @@ impl FaasSim {
             return self.finish(id);
         }
         self.states[id].op_started = now;
-        // Clone the op to decouple from `self` (specs are small).
-        let op = self.states[id].spec.ops[op_idx].clone();
-        match op {
+        let has_inter = self.config.platform.intermediate.is_some();
+        let st = &self.states[id];
+        let mem = st.spec.memory_mb;
+        let secs = match &st.spec.ops[op_idx] {
             Op::Get { key, store } => {
-                let Some(size) = self.ledger_for(store).size_of(&key) else {
+                let use_inter = *store == StoreKind::Ephemeral && has_inter;
+                let ledger = if use_inter {
+                    &mut self.inter_ledger
+                } else {
+                    &mut self.ledger
+                };
+                let Some(size) = ledger.size_of(key) else {
                     return Err(SimError::MissingObject {
-                        lambda: self.states[id].spec.name.clone(),
-                        key,
+                        lambda: st.spec.name.clone(),
+                        key: key.clone(),
                     });
                 };
-                self.ledger_for(store).record_get(size);
-                let mem = self.states[id].spec.memory_mb;
-                let secs = if store == StoreKind::Ephemeral {
+                ledger.record_get(size);
+                if use_inter {
                     self.config.platform.inter_get_secs(mem, size)
                 } else {
                     self.config.platform.get_secs(mem, size)
-                };
-                let d = self
-                    .noise
-                    .jitter(astra_simcore::SimDuration::from_secs_f64(secs));
-                self.queue.schedule(now + d, Event::OpDone(id));
+                }
             }
             Op::Put { size_mb, store, .. } => {
-                let mem = self.states[id].spec.memory_mb;
-                let secs = if store == StoreKind::Ephemeral {
-                    self.config.platform.inter_put_secs(mem, size_mb)
+                if *store == StoreKind::Ephemeral && has_inter {
+                    self.config.platform.inter_put_secs(mem, *size_mb)
                 } else {
-                    self.config.platform.put_secs(mem, size_mb)
-                };
-                let d = self
-                    .noise
-                    .jitter(astra_simcore::SimDuration::from_secs_f64(secs));
-                self.queue.schedule(now + d, Event::OpDone(id));
+                    self.config.platform.put_secs(mem, *size_mb)
+                }
             }
             Op::Compute { secs_at_128 } => {
-                let scaled =
-                    secs_at_128 / self.config.platform.speed_factor(self.states[id].spec.memory_mb);
-                let d = self.noise.jitter(SimDuration::from_secs_f64(scaled));
-                self.queue.schedule(now + d, Event::OpDone(id));
+                secs_at_128 / self.config.platform.speed_factor(mem)
             }
-            Op::Spawn { children, .. } => {
-                // Launching a batch takes the platform's orchestration
-                // overhead plus one invoke call per child; children arrive
-                // when it completes (handled at OpDone).
-                let d = self
-                    .noise
-                    .jitter(astra_simcore::SimDuration::from_secs_f64(
-                        self.config.platform.spawn_secs(children.len()),
-                    ));
-                self.queue.schedule(now + d, Event::OpDone(id));
-            }
-        }
+            // Launching a batch takes the platform's orchestration
+            // overhead plus one invoke call per child; children arrive
+            // when it completes (handled at OpDone).
+            Op::Spawn { children, .. } => self.config.platform.spawn_secs(children.len()),
+        };
+        let d = self.noise.jitter(SimDuration::from_secs_f64(secs));
+        self.queue.schedule(now + d, Event::OpDone(id));
         Ok(())
     }
 
@@ -511,7 +514,7 @@ impl FaasSim {
                     st.waiting = false;
                     st.op_idx += 1;
                     let wait_start = st.wait_started;
-                    let name = st.spec.name.clone();
+                    let name = st.name.clone();
                     self.trace
                         .record(name, SpanKind::WaitChildren, wait_start, now);
                     self.check_timeout(parent)?;
@@ -523,27 +526,25 @@ impl FaasSim {
     }
 
     fn bill(&mut self, id: usize, now: SimTime) {
-        {
-            let st = &self.states[id];
-            let started = st.handler_start;
-            let duration_us = now.since(started).as_micros();
-            let billed_us = self.config.catalog.lambda.billed_duration_us(duration_us);
-            let cost = self
-                .config
-                .catalog
-                .lambda
-                .invocation_cost(st.spec.memory_mb, duration_us);
-            self.trace
-                .record(st.spec.name.clone(), SpanKind::Invocation, started, now);
-            self.invoices.push(Invoice {
-                name: st.spec.name.clone(),
-                memory_mb: st.spec.memory_mb,
-                started,
-                finished: now,
-                billed_us,
-                cost,
-            });
-        }
+        let st = &self.states[id];
+        let started = st.handler_start;
+        let duration_us = now.since(started).as_micros();
+        let billed_us = self.config.catalog.lambda.billed_duration_us(duration_us);
+        let cost = self
+            .config
+            .catalog
+            .lambda
+            .invocation_cost(st.spec.memory_mb, duration_us);
+        self.trace
+            .record(st.name.clone(), SpanKind::Invocation, started, now);
+        self.invoices.push(Invoice {
+            name: st.name.clone(),
+            memory_mb: st.spec.memory_mb,
+            started,
+            finished: now,
+            billed_us,
+            cost,
+        });
     }
 
     fn check_timeout(&self, id: usize) -> Result<(), SimError> {

@@ -24,10 +24,12 @@
 //! experiment harness measures makespans and bills from the resulting
 //! [`SimReport`]s.
 
+pub mod batch;
 pub mod engine;
 pub mod ops;
 pub mod report;
 
+pub use batch::{derive_seed, BatchRun, SimBatch};
 pub use engine::{FaasSim, SimConfig, SimError};
 pub use ops::{LambdaSpec, Op, StoreKind};
 pub use report::{Invoice, SimReport};

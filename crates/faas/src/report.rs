@@ -1,5 +1,7 @@
 //! Run results: per-invocation invoices and the aggregate report.
 
+use std::sync::Arc;
+
 use astra_pricing::{Money, PriceCatalog};
 use astra_simcore::{SimDuration, SimTime, TraceLog};
 use astra_storage::LedgerSnapshot;
@@ -7,8 +9,9 @@ use astra_storage::LedgerSnapshot;
 /// The bill for one function invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Invoice {
-    /// Invocation name.
-    pub name: String,
+    /// Invocation name. Shared with the engine's trace spans, so billing
+    /// an invocation does not copy its name.
+    pub name: Arc<str>,
     /// Memory tier (MB).
     pub memory_mb: u32,
     /// When the handler started (after cold start).
@@ -57,6 +60,9 @@ pub struct SimReport {
     pub crashes: u64,
     /// Invocations served by a warm container (container reuse only).
     pub warm_starts: u64,
+    /// Total discrete events the engine processed for this run (the
+    /// denominator of the events/sec throughput benches).
+    pub events: u64,
 }
 
 impl SimReport {
@@ -72,7 +78,7 @@ impl SimReport {
 
     /// Invoice lookup by name.
     pub fn invoice(&self, name: &str) -> Option<&Invoice> {
-        self.invoices.iter().find(|i| i.name == name)
+        self.invoices.iter().find(|i| &*i.name == name)
     }
 
     /// Number of invocations.

@@ -31,4 +31,4 @@ pub mod simulate;
 pub use apps::MapReduceApp;
 pub use compile::{compile, CompiledJob};
 pub use local::{run_local, LocalReport};
-pub use simulate::simulate;
+pub use simulate::{simulate, simulate_batch, SimCase};

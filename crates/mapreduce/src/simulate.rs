@@ -3,6 +3,7 @@
 use astra_core::Plan;
 use astra_faas::{FaasSim, SimConfig, SimError, SimReport};
 use astra_model::JobSpec;
+use rayon::prelude::*;
 
 use crate::compile::compile;
 
@@ -17,6 +18,32 @@ pub fn simulate(job: &JobSpec, plan: &Plan, config: SimConfig) -> Result<SimRepo
     let compiled = compile(job, plan);
     let sim = FaasSim::new(config, &compiled.inputs);
     sim.run(compiled.roots)
+}
+
+/// One entry of a [`simulate_batch`] sweep.
+#[derive(Debug, Clone)]
+pub struct SimCase<'a> {
+    /// The job to simulate.
+    pub job: &'a JobSpec,
+    /// The execution plan.
+    pub plan: &'a Plan,
+    /// Engine parameters (noise CV and seed distinguish replications).
+    pub config: SimConfig,
+}
+
+/// Compile and execute every case in parallel across all cores.
+///
+/// Each case is compiled and simulated independently inside the worker,
+/// and results are collected in input order — so the returned vector is
+/// bit-identical to `cases.map(|c| simulate(c.job, c.plan, c.config))`
+/// run serially, at any `RAYON_NUM_THREADS`. This is the fan-out point
+/// for the experiment harness's Monte-Carlo sweeps: seeds × plans × jobs
+/// flatten into one batch and saturate the machine.
+pub fn simulate_batch(cases: Vec<SimCase<'_>>) -> Vec<Result<SimReport, SimError>> {
+    cases
+        .into_par_iter()
+        .map(|c| simulate(c.job, c.plan, c.config))
+        .collect()
 }
 
 #[cfg(test)]

@@ -66,6 +66,20 @@ impl Money {
         Money((self.0 as f64 * factor).round() as i128)
     }
 
+    /// Divide by a positive count, rounding half away from zero instead
+    /// of truncating toward it (what `/` does). Use for averaging bills:
+    /// truncation systematically undercounts the mean by up to one
+    /// nano-dollar per division, which compounds across sweep tables.
+    pub const fn div_round(self, rhs: i128) -> Money {
+        assert!(rhs > 0, "div_round divisor must be positive");
+        let half = rhs / 2;
+        if self.0 >= 0 {
+            Money((self.0 + half) / rhs)
+        } else {
+            Money((self.0 - half) / rhs)
+        }
+    }
+
     /// True if the amount is strictly negative.
     pub const fn is_negative(self) -> bool {
         self.0 < 0
@@ -205,7 +219,29 @@ mod tests {
         assert_eq!(total, Money::from_dollars(45));
     }
 
+    #[test]
+    fn div_round_rounds_to_nearest() {
+        // 7 / 2 = 3.5 → 4 (truncating `/` gives 3).
+        assert_eq!(Money::from_nanos(7).div_round(2), Money::from_nanos(4));
+        assert_eq!(Money::from_nanos(7) / 2, Money::from_nanos(3));
+        assert_eq!(Money::from_nanos(6).div_round(2), Money::from_nanos(3));
+        // 10 / 4 = 2.5 → 3 (half away from zero).
+        assert_eq!(Money::from_nanos(10).div_round(4), Money::from_nanos(3));
+        assert_eq!(Money::from_nanos(9).div_round(4), Money::from_nanos(2));
+        // Negative amounts round symmetrically.
+        assert_eq!(Money::from_nanos(-7).div_round(2), Money::from_nanos(-4));
+        assert_eq!(Money::ZERO.div_round(5), Money::ZERO);
+    }
+
     proptest! {
+        #[test]
+        fn div_round_error_is_at_most_half(a in -1_000_000_000i128..1_000_000_000, n in 1i128..1_000) {
+            let q = Money::from_nanos(a).div_round(n).nanos();
+            // |a - q·n| ≤ n/2: rounding to nearest never strays more than
+            // half a divisor from the exact quotient.
+            prop_assert!((a - q * n).abs() * 2 <= n);
+        }
+
         #[test]
         fn add_is_commutative(a in -1_000_000_000i128..1_000_000_000, b in -1_000_000_000i128..1_000_000_000) {
             prop_assert_eq!(Money::from_nanos(a) + Money::from_nanos(b),

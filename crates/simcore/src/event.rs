@@ -1,40 +1,28 @@
 //! Deterministic future-event list.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use crate::time::SimTime;
 
 /// An entry in the future-event list.
+///
+/// Time and sequence number are packed into one `u128` key
+/// (`time << 64 | seq`), so the heap's ordering is a single integer
+/// comparison instead of a two-field lexicographic compare. Because the
+/// sequence number occupies the low 64 bits, the packed ordering is
+/// exactly the `(time, seq)` lexicographic order the simulator's
+/// determinism guarantee is built on.
 struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
+    key: u128,
     event: E,
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+#[inline]
+fn pack(at: SimTime, seq: u64) -> u128 {
+    ((at.as_micros() as u128) << 64) | seq as u128
 }
 
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. The sequence number breaks timestamp ties in scheduling
-        // order, which keeps runs bit-for-bit reproducible.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+#[inline]
+fn unpack_time(key: u128) -> SimTime {
+    SimTime::from_micros((key >> 64) as u64)
 }
 
 /// A future-event list: a priority queue of `(SimTime, E)` pairs with a
@@ -42,12 +30,23 @@ impl<E> Ord for Scheduled<E> {
 ///
 /// This is the heart of the discrete-event engine: `astra-faas` drives its
 /// Lambda lifecycle state machines by popping events from this queue.
+///
+/// Internally a 4-ary implicit min-heap over packed `(time, seq)` keys.
+/// Compared to the binary `std::collections::BinaryHeap` it replaces, the
+/// wider fan-out halves the tree depth (fewer cache lines touched per
+/// sift) and the packed key makes every comparison one `u128` compare —
+/// both measurable wins on the simulator's hot pop/push cycle. The pop
+/// order is identical to the old implementation: strictly ascending
+/// `(time, seq)`.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    heap: Vec<Scheduled<E>>,
     now: SimTime,
     next_seq: u64,
     popped: u64,
 }
+
+/// Number of children per heap node.
+const ARITY: usize = 4;
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
@@ -58,12 +57,23 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue with room for `cap` pending events before the
+    /// backing storage reallocates.
+    pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::with_capacity(cap),
             now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,
         }
+    }
+
+    /// Reserve room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Current simulated time (the timestamp of the last popped event).
@@ -98,7 +108,11 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.heap.push(Scheduled {
+            key: pack(at, seq),
+            event,
+        });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Schedule `event` to fire immediately (at the current clock).
@@ -108,16 +122,58 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now);
-        self.now = entry.at;
+        if self.heap.is_empty() {
+            return None;
+        }
+        let entry = self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        let at = unpack_time(entry.key);
+        debug_assert!(at >= self.now);
+        self.now = at;
         self.popped += 1;
-        Some((entry.at, entry.event))
+        Some((at, entry.event))
     }
 
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.first().map(|e| unpack_time(e.key))
+    }
+
+    /// Move the entry at `i` up until its parent is no larger.
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.heap[parent].key <= self.heap[i].key {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    /// Move the entry at `i` down until no child is smaller.
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            let last_child = (first_child + ARITY).min(len);
+            let mut smallest = first_child;
+            for c in first_child + 1..last_child {
+                if self.heap[c].key < self.heap[smallest].key {
+                    smallest = c;
+                }
+            }
+            if self.heap[i].key <= self.heap[smallest].key {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
     }
 }
 
@@ -182,6 +238,16 @@ mod tests {
         assert_eq!(e, 2);
     }
 
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(16);
+        assert!(q.is_empty());
+        q.reserve(100);
+        q.schedule(SimTime::from_micros(1), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(1), 1)));
+    }
+
     proptest! {
         #[test]
         fn popped_timestamps_are_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
@@ -214,6 +280,50 @@ mod tests {
                 prop_assert!(at >= last);
                 last = at;
             }
+        }
+
+        /// Strict FIFO: under an arbitrary interleaving of schedules and
+        /// pops, every pop must return exactly what a reference model —
+        /// "the pending event with the smallest (time, seq)" — returns.
+        /// Events are tagged with their global schedule index so the
+        /// assertion checks identity, not just timestamp order.
+        #[test]
+        fn pops_match_reference_model_under_interleaving(
+            script in proptest::collection::vec((0u64..500, 0u8..3), 1..300)
+        ) {
+            let mut q = EventQueue::new();
+            // Reference: a sorted list of (time, seq) pending pairs.
+            let mut pending: Vec<(u64, u64)> = Vec::new();
+            fn check_pop(q: &mut EventQueue<u64>, pending: &mut Vec<(u64, u64)>) {
+                let got = q.pop();
+                let want = pending
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(t, s))| (t, s))
+                    .map(|(i, _)| i);
+                match (got, want) {
+                    (None, None) => {}
+                    (Some((at, tag)), Some(i)) => {
+                        let (t, s) = pending.remove(i);
+                        assert_eq!(at.as_micros(), t, "pop time");
+                        assert_eq!(tag, s, "pop identity (seq tag)");
+                    }
+                    (got, want) => panic!("pop mismatch: got {got:?}, want {want:?}"),
+                }
+            }
+            for (seq, &(delta, pops)) in script.iter().enumerate() {
+                let seq = seq as u64;
+                let at = q.now() + SimDuration::from_micros(delta);
+                q.schedule(at, seq);
+                pending.push((at.as_micros(), seq));
+                for _ in 0..pops {
+                    check_pop(&mut q, &mut pending);
+                }
+            }
+            while !pending.is_empty() {
+                check_pop(&mut q, &mut pending);
+            }
+            prop_assert!(q.is_empty());
         }
     }
 }

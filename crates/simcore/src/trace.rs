@@ -1,5 +1,7 @@
 //! Span traces for reconstructing job timelines (paper Fig. 3).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::time::{SimDuration, SimTime};
@@ -28,7 +30,11 @@ pub enum SpanKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Span {
     /// Owning actor, e.g. `"mapper-3"`, `"coordinator"`, `"reducer-1-0"`.
-    pub actor: String,
+    ///
+    /// Shared (`Arc<str>`) rather than owned: the simulator records
+    /// several spans per invocation, and sharing one allocation per actor
+    /// keeps span recording off the allocator's hot path.
+    pub actor: Arc<str>,
     /// What the interval represents.
     pub kind: SpanKind,
     /// Start time.
@@ -57,7 +63,11 @@ impl TraceLog {
     }
 
     /// Record a span. `end` must not precede `start`.
-    pub fn record(&mut self, actor: impl Into<String>, kind: SpanKind, start: SimTime, end: SimTime) {
+    ///
+    /// Accepts anything convertible to a shared string; callers that
+    /// record many spans for the same actor should pass an `Arc<str>`
+    /// clone so recording does not allocate.
+    pub fn record(&mut self, actor: impl Into<Arc<str>>, kind: SpanKind, start: SimTime, end: SimTime) {
         assert!(end >= start, "span ends before it starts");
         self.spans.push(Span {
             actor: actor.into(),
@@ -74,7 +84,7 @@ impl TraceLog {
 
     /// Spans of one actor, in record order.
     pub fn for_actor<'a>(&'a self, actor: &'a str) -> impl Iterator<Item = &'a Span> + 'a {
-        self.spans.iter().filter(move |s| s.actor == actor)
+        self.spans.iter().filter(move |s| &*s.actor == actor)
     }
 
     /// Spans of one kind.
@@ -101,7 +111,7 @@ impl TraceLog {
         let end = self.makespan().as_micros().max(1);
         let mut actors: Vec<&str> = Vec::new();
         for s in &self.spans {
-            if s.kind != SpanKind::Invocation && !actors.contains(&s.actor.as_str()) {
+            if s.kind != SpanKind::Invocation && !actors.contains(&&*s.actor) {
                 actors.push(&s.actor);
             }
         }

@@ -1,0 +1,146 @@
+//! Parallel-sweep determinism: fanning simulation runs over threads must
+//! change wall-clock only, never a single report bit. Each seed owns an
+//! isolated RNG and results are collected in input order, so the batch
+//! APIs (`SimBatch`, `simulate_batch`, `harness::measure_with`) are
+//! required to match their serial reference loops exactly at any
+//! `RAYON_NUM_THREADS` — the simulation-side counterpart of the planner
+//! guarantee in `parallel_equivalence.rs`.
+
+use astra::core::Objective;
+use astra::faas::{derive_seed, SimBatch, SimConfig, SimReport};
+use astra::mapreduce::{simulate, simulate_batch, SimCase};
+use astra::model::Platform;
+use astra::workloads::WorkloadSpec;
+use astra_experiments::harness;
+
+/// The thread counts swept in every test. The rayon shim re-reads
+/// `RAYON_NUM_THREADS` on each parallel call, so sweeping it inside one
+/// process is sound.
+const THREADS: [&str; 3] = ["1", "2", "8"];
+
+fn assert_reports_identical(a: &SimReport, b: &SimReport, context: &str) {
+    assert_eq!(a.makespan, b.makespan, "makespan ({context})");
+    assert_eq!(a.total_cost(), b.total_cost(), "cost ({context})");
+    assert_eq!(a.invoices, b.invoices, "invoices ({context})");
+    assert_eq!(a.events, b.events, "event count ({context})");
+    assert_eq!(a.ledger.gets, b.ledger.gets, "gets ({context})");
+    assert_eq!(a.ledger.puts, b.ledger.puts, "puts ({context})");
+}
+
+#[test]
+fn simulate_batch_is_bit_identical_to_serial_loop_at_any_thread_count() {
+    let job = WorkloadSpec::wordcount_gb(1).into_job();
+    let plan = harness::astra().plan(&job, Objective::fastest()).unwrap();
+    let configs: Vec<SimConfig> = (0..6)
+        .map(|i| {
+            SimConfig::deterministic(Platform::aws_lambda()).with_noise(0.2, derive_seed(11, i))
+        })
+        .collect();
+
+    let serial: Vec<SimReport> = configs
+        .iter()
+        .map(|c| simulate(&job, &plan, c.clone()).unwrap())
+        .collect();
+
+    for threads in THREADS {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let cases: Vec<SimCase<'_>> = configs
+            .iter()
+            .map(|c| SimCase {
+                job: &job,
+                plan: &plan,
+                config: c.clone(),
+            })
+            .collect();
+        let parallel = simulate_batch(cases);
+        assert_eq!(parallel.len(), serial.len());
+        for (i, (p, s)) in parallel.iter().zip(&serial).enumerate() {
+            assert_reports_identical(
+                p.as_ref().unwrap(),
+                s,
+                &format!("run {i} @{threads} threads"),
+            );
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn sim_batch_matches_its_serial_reference_at_any_thread_count() {
+    let job = WorkloadSpec::QueryUservisits.into_job();
+    let plan = harness::astra().plan(&job, Objective::cheapest()).unwrap();
+    let compiled = astra::mapreduce::compile(&job, &plan);
+
+    let build = || {
+        let mut batch = SimBatch::with_capacity(4);
+        for i in 0..4 {
+            let config = SimConfig::deterministic(Platform::aws_lambda())
+                .with_noise(0.15, derive_seed(3, i));
+            batch.push(config, compiled.roots.clone(), compiled.inputs.clone());
+        }
+        batch
+    };
+    let serial = build().run_serial();
+
+    for threads in THREADS {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let parallel = build().run();
+        for (i, (p, s)) in parallel.iter().zip(&serial).enumerate() {
+            assert_reports_identical(
+                p.as_ref().unwrap(),
+                s.as_ref().unwrap(),
+                &format!("run {i} @{threads} threads"),
+            );
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn measure_with_matches_serial_reference_at_any_thread_count() {
+    let job = WorkloadSpec::wordcount_gb(1).into_job();
+    let plan = harness::astra().plan(&job, Objective::fastest()).unwrap();
+    let seeds: Vec<u64> = (0..5).map(|i| derive_seed(7, i)).collect();
+
+    let reference = harness::measure_with_serial(&job, &plan, harness::NOISE_CV, &seeds);
+
+    for threads in THREADS {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let m = harness::measure_with(&job, &plan, harness::NOISE_CV, &seeds);
+        // Float sums fold in seed order in both paths, so even the mean
+        // must match to the bit, not just approximately.
+        assert_eq!(
+            m.jct_s.to_bits(),
+            reference.jct_s.to_bits(),
+            "mean JCT bits @{threads} threads"
+        );
+        assert_eq!(m.cost, reference.cost, "mean cost @{threads} threads");
+        assert_eq!(
+            m.timeout_violations, reference.timeout_violations,
+            "violations @{threads} threads"
+        );
+        assert_reports_identical(
+            &m.last_report,
+            &reference.last_report,
+            &format!("last report @{threads} threads"),
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn measure_batch_matches_per_case_measure_with() {
+    let job = WorkloadSpec::QueryUservisits.into_job();
+    let astra = harness::astra();
+    let fast = astra.plan(&job, Objective::fastest()).unwrap();
+    let cheap = astra.plan(&job, Objective::cheapest()).unwrap();
+    let seeds = [11, 23, 37];
+
+    let batch = harness::measure_batch(&[(&job, &fast), (&job, &cheap)], 0.1, &seeds);
+    for (m, plan) in batch.iter().zip([&fast, &cheap]) {
+        let solo = harness::measure_with(&job, plan, 0.1, &seeds);
+        assert_eq!(m.jct_s.to_bits(), solo.jct_s.to_bits());
+        assert_eq!(m.cost, solo.cost);
+        assert_reports_identical(&m.last_report, &solo.last_report, "batch vs solo");
+    }
+}
