@@ -8,6 +8,10 @@
 //! * `sim_single/N{n}` — one end-to-end simulation of an N-object job
 //!   (compile + event loop), with the event count and derived events/sec
 //!   throughput recorded alongside the timing;
+//! * `telemetry_null/N{n}` — the same single simulation with a
+//!   `NullRecorder` telemetry sink attached (every span/counter is
+//!   built and discarded), so the per-event instrumentation overhead is
+//!   measurable and gated alongside the disabled-path timing;
 //! * `sweep_serial/N{n}` / `sweep_parallel/N{n}` — a 16-replication
 //!   noisy seed sweep run as a serial loop versus `simulate_batch`,
 //!   with the speedup recorded.
@@ -71,6 +75,31 @@ fn run_suite(args: &BenchArgs) -> Value {
             "min_ms": min,
             "events": events,
             "events_per_sec": events_per_sec,
+        }));
+
+        // Telemetry overhead: identical run with an enabled Null sink,
+        // so every span record is allocated, stamped and discarded —
+        // the worst case for instrumentation cost. The reports stay
+        // bit-identical (telemetry never touches sim state); only the
+        // wall-clock differs.
+        let tel = astra_telemetry::Telemetry::new(std::sync::Arc::new(
+            astra_telemetry::NullRecorder,
+        ));
+        let (tel_mean, tel_min) = time_ms(args.samples, || {
+            simulate(&job, &plan, config(7).with_telemetry(tel.clone()))
+                .expect("bench run succeeds")
+        });
+        let overhead_pct = (tel_min / min - 1.0) * 100.0;
+        eprintln!(
+            "bench telemetry_null/N{n}: mean {tel_mean:.2} ms, min {tel_min:.2} ms \
+             ({overhead_pct:+.1}% vs disabled)"
+        );
+        results.push(json!({
+            "name": format!("telemetry_null/N{n}"),
+            "n": n,
+            "mean_ms": tel_mean,
+            "min_ms": tel_min,
+            "overhead_pct_vs_disabled": overhead_pct,
         }));
 
         // Seed-sweep scaling: serial loop vs simulate_batch fan-out.

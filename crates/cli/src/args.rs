@@ -18,6 +18,12 @@ pub struct JobOpts {
     /// Planner thread-count override (`--threads`); `None` keeps the
     /// `RAYON_NUM_THREADS` / auto-detected default.
     pub threads: Option<usize>,
+    /// Write a Chrome-trace JSON of the run to this path (`--trace-out`);
+    /// load it in chrome://tracing or Perfetto. See OBSERVABILITY.md.
+    pub trace_out: Option<String>,
+    /// Print telemetry counters/gauges and the phase-breakdown table
+    /// after the command (`--metrics`).
+    pub metrics: bool,
 }
 
 /// A parsed CLI invocation.
@@ -30,34 +36,42 @@ pub enum Command {
     /// `astra simulate --workload W [--budget | --deadline] [--noise --seed]`.
     Simulate(JobOpts),
     /// `astra baselines --workload W` — compare against Baselines 1–3.
-    Baselines {
-        /// The workload to compare on.
-        workload: WorkloadSpec,
-        /// Planner thread-count override.
-        threads: Option<usize>,
-    },
+    Baselines(JobOpts),
     /// `astra timeline --workload W [...]` — ASCII Gantt of a run.
     Timeline(JobOpts),
     /// `astra frontier --workload W` — the cost-performance Pareto
     /// frontier.
-    Frontier {
-        /// The workload to sweep.
-        workload: WorkloadSpec,
-        /// Planner thread-count override.
-        threads: Option<usize>,
-    },
+    Frontier(JobOpts),
     /// `astra help`.
     Help,
 }
 
 impl Command {
-    /// The `--threads` override this invocation carries, if any.
-    pub fn threads(&self) -> Option<usize> {
+    /// The shared job options this invocation carries, if any.
+    pub fn job_opts(&self) -> Option<&JobOpts> {
         match self {
-            Command::Plan(o) | Command::Simulate(o) | Command::Timeline(o) => o.threads,
-            Command::Baselines { threads, .. } | Command::Frontier { threads, .. } => *threads,
+            Command::Plan(o)
+            | Command::Simulate(o)
+            | Command::Baselines(o)
+            | Command::Timeline(o)
+            | Command::Frontier(o) => Some(o),
             Command::Workloads | Command::Help => None,
         }
+    }
+
+    /// The `--threads` override this invocation carries, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.job_opts().and_then(|o| o.threads)
+    }
+
+    /// The `--trace-out` path this invocation carries, if any.
+    pub fn trace_out(&self) -> Option<&str> {
+        self.job_opts().and_then(|o| o.trace_out.as_deref())
+    }
+
+    /// Whether `--metrics` was given.
+    pub fn metrics(&self) -> bool {
+        self.job_opts().map(|o| o.metrics).unwrap_or(false)
     }
 }
 
@@ -112,6 +126,8 @@ fn parse_job_opts(args: &[String]) -> Result<JobOpts, ParseError> {
     let mut noise = 0.1;
     let mut seed = 42u64;
     let mut threads = None;
+    let mut trace_out = None;
+    let mut metrics = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -162,6 +178,14 @@ fn parse_job_opts(args: &[String]) -> Result<JobOpts, ParseError> {
                 threads = Some(n);
                 i += 2;
             }
+            "--trace-out" => {
+                trace_out = Some(value()?.clone());
+                i += 2;
+            }
+            "--metrics" => {
+                metrics = true;
+                i += 1;
+            }
             other => return Err(ParseError::BadFlag(other.to_string())),
         }
     }
@@ -172,6 +196,8 @@ fn parse_job_opts(args: &[String]) -> Result<JobOpts, ParseError> {
         noise_cv: noise,
         seed,
         threads,
+        trace_out,
+        metrics,
     })
 }
 
@@ -185,21 +211,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "workloads" => Ok(Command::Workloads),
         "plan" => Ok(Command::Plan(parse_job_opts(rest)?)),
         "simulate" | "sim" => Ok(Command::Simulate(parse_job_opts(rest)?)),
-        "baselines" => {
-            let opts = parse_job_opts(rest)?;
-            Ok(Command::Baselines {
-                workload: opts.workload,
-                threads: opts.threads,
-            })
-        }
+        "baselines" => Ok(Command::Baselines(parse_job_opts(rest)?)),
         "timeline" => Ok(Command::Timeline(parse_job_opts(rest)?)),
-        "frontier" => {
-            let opts = parse_job_opts(rest)?;
-            Ok(Command::Frontier {
-                workload: opts.workload,
-                threads: opts.threads,
-            })
-        }
+        "frontier" => Ok(Command::Frontier(parse_job_opts(rest)?)),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError::UnknownCommand(other.to_string())),
     }
@@ -259,13 +273,9 @@ mod tests {
     #[test]
     fn frontier_parses() {
         let cmd = parse(&argv("frontier -w sort")).unwrap();
-        assert_eq!(
-            cmd,
-            Command::Frontier {
-                workload: WorkloadSpec::Sort100,
-                threads: None,
-            }
-        );
+        let Command::Frontier(opts) = cmd else { panic!() };
+        assert_eq!(opts.workload, WorkloadSpec::Sort100);
+        assert_eq!(opts.threads, None);
     }
 
     #[test]
@@ -276,13 +286,9 @@ mod tests {
         assert_eq!(opts.threads, Some(4));
 
         let cmd = parse(&argv("frontier -w sort -t 8")).unwrap();
-        assert_eq!(
-            cmd,
-            Command::Frontier {
-                workload: WorkloadSpec::Sort100,
-                threads: Some(8),
-            }
-        );
+        assert_eq!(cmd.threads(), Some(8));
+        let Command::Frontier(opts) = cmd else { panic!() };
+        assert_eq!(opts.workload, WorkloadSpec::Sort100);
 
         // Default: no override.
         assert_eq!(parse(&argv("plan -w wc1")).unwrap().threads(), None);
@@ -290,6 +296,28 @@ mod tests {
         assert!(matches!(
             parse(&argv("plan --threads 0")),
             Err(ParseError::BadFlag(_))
+        ));
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let cmd = parse(&argv("sim -w wc1 --trace-out trace.json --metrics")).unwrap();
+        assert_eq!(cmd.trace_out(), Some("trace.json"));
+        assert!(cmd.metrics());
+
+        // Default: telemetry off.
+        let cmd = parse(&argv("sim -w wc1")).unwrap();
+        assert_eq!(cmd.trace_out(), None);
+        assert!(!cmd.metrics());
+
+        // Available on every job subcommand, e.g. baselines.
+        let cmd = parse(&argv("baselines -w sort --metrics")).unwrap();
+        assert!(cmd.metrics());
+
+        // --trace-out needs a path.
+        assert!(matches!(
+            parse(&argv("sim --trace-out")),
+            Err(ParseError::MissingValue(_))
         ));
     }
 

@@ -4,7 +4,7 @@ use std::io::Write;
 
 use astra_baselines::Baseline;
 use astra_core::{Astra, Objective, Plan};
-use astra_faas::SimConfig;
+use astra_faas::{SimConfig, SimReport};
 use astra_mapreduce::simulate as run_sim;
 use astra_model::{JobSpec, Platform};
 use astra_pricing::PriceCatalog;
@@ -18,6 +18,43 @@ fn objective_for(opts: &JobOpts) -> Objective {
         (None, Some(d)) => Objective::min_cost_with_deadline_s(d),
         (None, None) => Objective::fastest(),
     }
+}
+
+/// Print the `--metrics` tables: the exclusive phase partition of the
+/// makespan (each row is the share of wall-clock where that phase was
+/// the highest-priority activity anywhere in the fleet; rows sum exactly
+/// to the JCT) and the per-stage cumulative lambda-seconds.
+fn phase_table(report: &SimReport, out: &mut dyn Write) -> std::io::Result<()> {
+    let breakdown = report.phase_breakdown();
+    let total = breakdown.total().as_secs_f64();
+    writeln!(out, "\nPhase breakdown (exclusive, rows sum to JCT):")?;
+    for (label, d) in breakdown.rows() {
+        let secs = d.as_secs_f64();
+        let pct = if total > 0.0 { 100.0 * secs / total } else { 0.0 };
+        writeln!(out, "  {label:<14} {secs:>9.3}s  {pct:>5.1}%")?;
+    }
+    writeln!(out, "  {:<14} {:>9.3}s  100.0%", "total (JCT)", total)?;
+
+    writeln!(out, "\nPer-stage cumulative lambda-seconds:")?;
+    writeln!(
+        out,
+        "  {:<14} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "stage", "n", "cold", "get", "compute", "put", "wait"
+    )?;
+    for s in report.stage_breakdown() {
+        writeln!(
+            out,
+            "  {:<14} {:>4} {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s",
+            s.stage,
+            s.invocations,
+            s.phases.cold_start.as_secs_f64(),
+            s.phases.storage_get.as_secs_f64(),
+            s.phases.compute.as_secs_f64(),
+            s.phases.storage_put.as_secs_f64(),
+            s.phases.wait_children.as_secs_f64(),
+        )?;
+    }
+    Ok(())
 }
 
 fn plan_job(opts: &JobOpts) -> Result<(JobSpec, Plan), String> {
@@ -102,6 +139,9 @@ pub fn simulate(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
                         report.ledger.gets,
                         report.ledger.puts,
                     )?;
+                    if opts.metrics {
+                        phase_table(&report, out)?;
+                    }
                 }
                 Err(e) => writeln!(out, "simulation failed: {e}")?,
             }
@@ -112,7 +152,8 @@ pub fn simulate(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
 }
 
 /// `astra baselines`.
-pub fn baselines(workload: WorkloadSpec, out: &mut dyn Write) -> std::io::Result<()> {
+pub fn baselines(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    let workload = opts.workload;
     let job = workload.into_job();
     let mut relaxed = Platform::aws_lambda();
     relaxed.timeout_s = f64::INFINITY;
@@ -162,6 +203,9 @@ pub fn timeline(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
                     writeln!(out, "{} — JCT {:.1}s", plan.summary(), report.jct_s())?;
                     writeln!(out, "legend: c cold-start | r GET | # compute | w PUT | . waiting | q queued\n")?;
                     write!(out, "{}", report.trace.ascii_gantt(100))?;
+                    if opts.metrics {
+                        phase_table(&report, out)?;
+                    }
                 }
                 Err(e) => writeln!(out, "simulation failed: {e}")?,
             }
@@ -172,7 +216,8 @@ pub fn timeline(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
 }
 
 /// `astra frontier`.
-pub fn frontier(workload: WorkloadSpec, out: &mut dyn Write) -> std::io::Result<()> {
+pub fn frontier(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    let workload = opts.workload;
     let job = workload.into_job();
     let astra = Astra::with_defaults();
     match astra.pareto_frontier(&job, 12) {
@@ -225,8 +270,13 @@ FLAGS:
         --seed <n>          simulator seed (default 42)
     -t, --threads <n>       planner worker threads (default: all cores;
                             any value yields the same plan)
+        --trace-out <path>  write a Chrome trace of the run (open in
+                            chrome://tracing or Perfetto); see OBSERVABILITY.md
+        --metrics           print telemetry counters and the phase-breakdown
+                            table after the command
 
-With neither --budget nor --deadline, astra plans for the fastest execution."
+With neither --budget nor --deadline, astra plans for the fastest execution.
+Telemetry is observational: output numbers are identical with it on or off."
     )
 }
 
@@ -240,6 +290,19 @@ mod tests {
         String::from_utf8(buf).unwrap()
     }
 
+    fn opts(workload: WorkloadSpec) -> JobOpts {
+        JobOpts {
+            workload,
+            budget: None,
+            deadline_s: None,
+            noise_cv: 0.0,
+            seed: 1,
+            threads: None,
+            trace_out: None,
+            metrics: false,
+        }
+    }
+
     #[test]
     fn workloads_lists_all_five() {
         let text = capture(crate::Command::Workloads);
@@ -251,12 +314,8 @@ mod tests {
     #[test]
     fn plan_reports_a_feasible_plan() {
         let opts = JobOpts {
-            workload: WorkloadSpec::wordcount_gb(1),
             budget: Some(0.004),
-            deadline_s: None,
-            noise_cv: 0.0,
-            seed: 1,
-            threads: None,
+            ..opts(WorkloadSpec::wordcount_gb(1))
         };
         let text = capture(crate::Command::Plan(opts));
         assert!(text.contains("Plan"), "{text}");
@@ -266,24 +325,56 @@ mod tests {
     #[test]
     fn simulate_reports_measured_numbers() {
         let opts = JobOpts {
-            workload: WorkloadSpec::wordcount_gb(1),
-            budget: None,
             deadline_s: Some(120.0),
-            noise_cv: 0.0,
-            seed: 1,
-            threads: None,
+            ..opts(WorkloadSpec::wordcount_gb(1))
         };
         let text = capture(crate::Command::Simulate(opts));
         assert!(text.contains("Simulated"), "{text}");
         assert!(text.contains("invocations"), "{text}");
     }
 
+    // Tests that pass --metrics/--trace-out install the process-global
+    // telemetry recorder; serialize them so they don't capture each
+    // other's spans or tear the recorder down mid-run.
+    static TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn simulate_with_metrics_prints_phase_table_and_counters() {
+        let _guard = TELEMETRY_LOCK.lock().unwrap();
+        let opts = JobOpts {
+            metrics: true,
+            ..opts(WorkloadSpec::wordcount_gb(1))
+        };
+        let text = capture(crate::Command::Simulate(opts));
+        assert!(text.contains("Phase breakdown"), "{text}");
+        assert!(text.contains("compute"), "{text}");
+        assert!(text.contains("total (JCT)"), "{text}");
+        assert!(text.contains("Per-stage cumulative"), "{text}");
+        assert!(text.contains("mapper"), "{text}");
+        assert!(text.contains("-- telemetry --"), "{text}");
+        assert!(text.contains("engine.events"), "{text}");
+    }
+
+    #[test]
+    fn trace_out_writes_a_chrome_trace() {
+        let _guard = TELEMETRY_LOCK.lock().unwrap();
+        let path = std::env::temp_dir().join("astra-cli-trace-test.json");
+        let _ = std::fs::remove_file(&path);
+        let opts = JobOpts {
+            trace_out: Some(path.to_string_lossy().into_owned()),
+            ..opts(WorkloadSpec::wordcount_gb(1))
+        };
+        let text = capture(crate::Command::Simulate(opts));
+        assert!(text.contains("trace written to"), "{text}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"traceEvents\""), "not a Chrome trace");
+        assert!(json.contains("invocation"), "missing invocation spans");
+        let _ = std::fs::remove_file(&path);
+    }
+
     #[test]
     fn baselines_table_includes_astra_row() {
-        let text = capture(crate::Command::Baselines {
-            workload: WorkloadSpec::wordcount_gb(1),
-            threads: None,
-        });
+        let text = capture(crate::Command::Baselines(opts(WorkloadSpec::wordcount_gb(1))));
         assert!(text.contains("Baseline 1"));
         assert!(text.contains("Astra"));
     }
@@ -291,12 +382,8 @@ mod tests {
     #[test]
     fn hopeless_budget_is_reported_not_panicked() {
         let opts = JobOpts {
-            workload: WorkloadSpec::wordcount_gb(1),
             budget: Some(0.0000001),
-            deadline_s: None,
-            noise_cv: 0.0,
-            seed: 1,
-            threads: None,
+            ..opts(WorkloadSpec::wordcount_gb(1))
         };
         let text = capture(crate::Command::Plan(opts));
         assert!(text.contains("planning failed"), "{text}");
@@ -312,10 +399,10 @@ mod tests {
 
     #[test]
     fn frontier_lists_multiple_plans() {
-        let text = capture(crate::Command::Frontier {
-            workload: WorkloadSpec::wordcount_gb(1),
+        let text = capture(crate::Command::Frontier(JobOpts {
             threads: Some(2),
-        });
+            ..opts(WorkloadSpec::wordcount_gb(1))
+        }));
         assert!(text.contains("distinct plans"), "{text}");
     }
 }

@@ -4,10 +4,13 @@ use astra_model::{Infeasibility, JobConfig, JobSpec, Platform};
 use astra_pricing::PriceCatalog;
 use rayon::prelude::*;
 
+use astra_telemetry::Telemetry;
+
+use crate::cache::ModelCache;
 use crate::dag::PlannerDag;
 use crate::objective::Objective;
 use crate::plan::Plan;
-use crate::solver::{solve_exhaustive, solve_on_dag, Strategy};
+use crate::solver::{solve_exhaustive_with_telemetry, solve_on_dag, Strategy};
 use crate::space::ConfigSpace;
 
 /// Why planning failed.
@@ -55,24 +58,33 @@ pub struct Astra {
     platform: Platform,
     catalog: PriceCatalog,
     strategy: Strategy,
+    telemetry: Telemetry,
 }
 
 impl Astra {
     /// AWS Lambda platform, 2020 prices, exact constrained solver.
+    ///
+    /// Telemetry snapshots the process-global handle
+    /// (`astra_telemetry::global()`), so a binary that installed a
+    /// recorder before constructing planners gets planning spans and
+    /// cache counters with no extra plumbing.
     pub fn with_defaults() -> Self {
         Astra {
             platform: Platform::aws_lambda(),
             catalog: PriceCatalog::aws_2020(),
             strategy: Strategy::default(),
+            telemetry: astra_telemetry::global(),
         }
     }
 
-    /// Fully customised planner.
+    /// Fully customised planner (telemetry snapshots the process-global
+    /// handle; override with [`Astra::with_telemetry`]).
     pub fn new(platform: Platform, catalog: PriceCatalog, strategy: Strategy) -> Self {
         Astra {
             platform,
             catalog,
             strategy,
+            telemetry: astra_telemetry::global(),
         }
     }
 
@@ -97,6 +109,13 @@ impl Astra {
         self
     }
 
+    /// Attach an explicit telemetry handle (overriding the process-global
+    /// snapshot taken by the constructors).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Plan `job` under `objective` over the full configuration space.
     pub fn plan(&self, job: &JobSpec, objective: Objective) -> Result<Plan, PlanError> {
         let space = ConfigSpace::full(job, &self.platform);
@@ -104,19 +123,50 @@ impl Astra {
     }
 
     /// Plan over a restricted configuration space (tests, ablations).
+    ///
+    /// When telemetry is enabled the whole request is wrapped in a
+    /// wall-clock `plan` span with nested DAG-build and solve phases,
+    /// plus model-cache hit/miss counters — all observational; the plan
+    /// is bit-identical with telemetry on or off.
     pub fn plan_with_space(
         &self,
         job: &JobSpec,
         objective: Objective,
         space: &ConfigSpace,
     ) -> Result<Plan, PlanError> {
+        let plan_span = self.telemetry.wall_span("planner", "plan", "planner");
         let config = match self.strategy {
-            Strategy::Exhaustive => {
-                solve_exhaustive(job, &self.platform, &self.catalog, space, objective)
-            }
+            Strategy::Exhaustive => solve_exhaustive_with_telemetry(
+                job,
+                &self.platform,
+                &self.catalog,
+                space,
+                objective,
+                &self.telemetry,
+            ),
             _ => {
-                let dag = PlannerDag::build(job, &self.platform, &self.catalog, space);
-                solve_on_dag(&dag, objective, self.strategy)
+                let cache = ModelCache::new(job, &self.platform);
+                let dag = {
+                    let mut span = self.telemetry.wall_span("planner", "build_dag", "planner");
+                    span.set_parent(plan_span.id());
+                    PlannerDag::build_with_cache(&self.catalog, space, &cache)
+                };
+                let solved = {
+                    let mut span = self.telemetry.wall_span("planner", "solve", "planner");
+                    span.set_parent(plan_span.id());
+                    solve_on_dag(&dag, objective, self.strategy)
+                };
+                if self.telemetry.enabled() {
+                    let stats = cache.stats();
+                    self.telemetry.counter("planner.cache.hits", stats.hits);
+                    self.telemetry.counter("planner.cache.misses", stats.misses);
+                    self.telemetry
+                        .gauge("planner.cache.entries", stats.entries as f64);
+                    self.telemetry
+                        .gauge("planner.cache.hit_rate", stats.hit_rate());
+                    self.telemetry.counter("planner.plans", 1);
+                }
+                solved
             }
         }
         .ok_or(PlanError::NoFeasiblePlan { objective })?;

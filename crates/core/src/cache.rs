@@ -22,7 +22,8 @@
 //!    that tier or volume, so a cache can never serve a stale or
 //!    mismatched value.
 //! 2. **Transparency.** [`ModelCache::evaluate`] returns results
-//!    bit-identical to [`astra_model::evaluate`] — the same `f64` times
+//!    bit-identical to [`astra_model::evaluate()`](astra_model::evaluate::evaluate)
+//!    — the same `f64` times
 //!    to the last ULP and the same cost to the last nano-dollar — because
 //!    cached sub-terms are the *same computations* the uncached path
 //!    runs, stored verbatim (a property test asserts this).
@@ -36,6 +37,7 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use astra_model::cost::full_cost;
@@ -48,27 +50,71 @@ use astra_model::{JobConfig, JobSpec, Platform};
 use astra_pricing::PriceCatalog;
 use parking_lot::RwLock;
 
-/// One memoized map: `Arc`-shared values behind a reader-writer lock.
-struct Memo<K, V>(RwLock<HashMap<K, Arc<V>>>);
+/// One memoized map: `Arc`-shared values behind a reader-writer lock,
+/// plus relaxed hit/miss tallies for the planner's telemetry counters.
+struct Memo<K, V> {
+    map: RwLock<HashMap<K, Arc<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
 
 impl<K: Eq + Hash + Copy, V> Memo<K, V> {
     fn new() -> Self {
-        Memo(RwLock::new(HashMap::new()))
+        Memo {
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// Fetch the entry for `key`, computing it with `make` on a miss.
     /// If two threads race on the same miss the first insert wins (both
-    /// compute identical values, see the module invariants).
+    /// compute identical values, see the module invariants). A racing
+    /// loser still tallies a miss — the counter means "computed", which
+    /// is the cost the hit rate is meant to expose.
     fn get_or(&self, key: K, make: impl FnOnce() -> V) -> Arc<V> {
-        if let Some(v) = self.0.read().get(&key) {
+        if let Some(v) = self.map.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(v);
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let v = Arc::new(make());
-        Arc::clone(self.0.write().entry(key).or_insert(v))
+        Arc::clone(self.map.write().entry(key).or_insert(v))
     }
 
     fn len(&self) -> usize {
-        self.0.read().len()
+        self.map.read().len()
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Aggregate hit/miss tallies across all of a [`ModelCache`]'s maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a memoized entry.
+    pub hits: u64,
+    /// Lookups that computed their value (includes racing duplicates).
+    pub misses: u64,
+    /// Entries currently memoized.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 }
 
@@ -143,7 +189,8 @@ impl<'a> ModelCache<'a> {
 
     /// Evaluate one configuration end to end through the cache.
     ///
-    /// Bit-identical to [`astra_model::evaluate`] on the same inputs
+    /// Bit-identical to [`astra_model::evaluate()`](astra_model::evaluate::evaluate)
+    /// on the same inputs
     /// (invariant 2): the feasibility checks, their order, and every
     /// arithmetic operation match the uncached path.
     pub fn evaluate(
@@ -200,6 +247,23 @@ impl<'a> ModelCache<'a> {
     /// the bench runner's cache-effectiveness report).
     pub fn entries(&self) -> usize {
         self.mapper.len() + self.outputs.len() + self.structure.len() + self.tier_times.len()
+    }
+
+    /// Hit/miss tallies across all maps. Purely diagnostic (telemetry
+    /// counters `planner.cache.hits` / `planner.cache.misses`); the
+    /// counts never influence planning.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.mapper.hits()
+                + self.outputs.hits()
+                + self.structure.hits()
+                + self.tier_times.hits(),
+            misses: self.mapper.misses()
+                + self.outputs.misses()
+                + self.structure.misses()
+                + self.tier_times.misses(),
+            entries: self.entries(),
+        }
     }
 }
 
@@ -265,6 +329,26 @@ mod tests {
             )
             .unwrap();
         assert_eq!(cache.entries(), after_first + 1);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let job = JobSpec::uniform("t", 8, 1.0, WorkloadProfile::uniform_test());
+        let platform = Platform::paper_literal(10.0);
+        let catalog = PriceCatalog::aws_2020();
+        let cache = ModelCache::new(&job, &platform);
+        assert_eq!(cache.stats().hits + cache.stats().misses, 0);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.evaluate(&cfg(128, 2, 2), &catalog).unwrap();
+        let first = cache.stats();
+        assert!(first.misses >= 4, "mapper + outputs + structure + times");
+        // Re-evaluating the same configuration only hits.
+        cache.evaluate(&cfg(128, 2, 2), &catalog).unwrap();
+        let second = cache.stats();
+        assert_eq!(second.misses, first.misses);
+        assert!(second.hits > first.hits);
+        assert!(second.hit_rate() > 0.0);
+        assert_eq!(second.entries, cache.entries());
     }
 
     #[test]

@@ -322,39 +322,60 @@ impl PlannerDag {
         space: &ConfigSpace,
         cache: &ModelCache<'_>,
     ) -> PlannerDag {
+        // Wall-clock spans per construction pass follow the process-global
+        // telemetry handle (installed by the CLI / experiment binaries);
+        // they are observational only and do not touch the build itself.
+        let tel = astra_telemetry::global();
+        let build_span = tel.wall_span("planner", "dag.build", "planner");
         let (job, platform) = (cache.job(), cache.platform());
         job.profile.validate();
         let coord_compute = coord_compute_per_tier(job, platform, space);
 
         // Pass 1: mapper edges, parallel over k_M (order-preserving).
-        let col2: Vec<Col2Recipe> = space
-            .k_m_values
-            .par_iter()
-            .filter_map(|&k_m| col2_recipe(platform, catalog, space, cache, k_m))
-            .collect();
+        let col2: Vec<Col2Recipe> = {
+            let mut span = tel.wall_span("planner", "dag.col2", "planner");
+            span.set_parent(build_span.id());
+            space
+                .k_m_values
+                .par_iter()
+                .filter_map(|&k_m| col2_recipe(platform, catalog, space, cache, k_m))
+                .collect()
+        };
 
         // Pass 2: reduce edges, parallel over the surviving (k_M, k_R)
         // pairs. Work items are indexed by their column-2 recipe so the
         // results can be regrouped in order.
-        let work: Vec<(usize, usize, usize)> = col2
-            .iter()
-            .enumerate()
-            .flat_map(|(ci, r)| {
-                space
-                    .k_r_candidates(r.j)
-                    .into_iter()
-                    .map(move |k_r| (ci, r.k_m, k_r))
-            })
-            .collect();
-        let col3_flat: Vec<Option<(usize, Col3Recipe)>> = work
-            .par_iter()
-            .map(|&(ci, k_m, k_r)| {
-                col3_recipe(platform, catalog, space, cache, &coord_compute, k_m, k_r)
-                    .map(|r| (ci, r))
-            })
-            .collect();
+        let col3_flat: Vec<Option<(usize, Col3Recipe)>> = {
+            let mut span = tel.wall_span("planner", "dag.col3", "planner");
+            span.set_parent(build_span.id());
+            let work: Vec<(usize, usize, usize)> = col2
+                .iter()
+                .enumerate()
+                .flat_map(|(ci, r)| {
+                    space
+                        .k_r_candidates(r.j)
+                        .into_iter()
+                        .map(move |k_r| (ci, r.k_m, k_r))
+                })
+                .collect();
+            work.par_iter()
+                .map(|&(ci, k_m, k_r)| {
+                    col3_recipe(platform, catalog, space, cache, &coord_compute, k_m, k_r)
+                        .map(|r| (ci, r))
+                })
+                .collect()
+        };
 
-        assemble(space, col2, col3_flat)
+        let dag = {
+            let mut span = tel.wall_span("planner", "dag.assemble", "planner");
+            span.set_parent(build_span.id());
+            assemble(space, col2, col3_flat)
+        };
+        if tel.enabled() {
+            tel.gauge("planner.dag.nodes", dag.graph().node_count() as f64);
+            tel.gauge("planner.dag.edges", dag.graph().edge_count() as f64);
+        }
+        dag
     }
 
     /// Single-threaded reference construction: runs the same recipe

@@ -38,7 +38,7 @@ pub mod solver;
 pub mod space;
 
 pub use astra::{Astra, PlanError};
-pub use cache::ModelCache;
+pub use cache::{CacheStats, ModelCache};
 pub use dag::{Choice, EdgeMetrics, PlannerDag};
 pub use objective::Objective;
 pub use plan::{Plan, PlanSpec, ReduceSpec};

@@ -126,20 +126,61 @@ pub fn solve_exhaustive(
     space: &ConfigSpace,
     objective: Objective,
 ) -> Option<JobConfig> {
+    solve_exhaustive_with_telemetry(
+        job,
+        platform,
+        catalog,
+        space,
+        objective,
+        &astra_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`solve_exhaustive`] with sweep telemetry: counts evaluated, feasible
+/// and infeasible configurations (`planner.exhaustive.*`) and the shared
+/// model-cache hit rate (`planner.cache.*`). The tallies are relaxed
+/// atomics whose totals are interleaving-independent, and the chosen
+/// plan is bit-identical to the untraced path.
+pub fn solve_exhaustive_with_telemetry(
+    job: &JobSpec,
+    platform: &Platform,
+    catalog: &PriceCatalog,
+    space: &ConfigSpace,
+    objective: Objective,
+    telemetry: &astra_telemetry::Telemetry,
+) -> Option<JobConfig> {
+    use std::sync::atomic::{AtomicU64, Ordering};
     let cache = ModelCache::new(job, platform);
     let configs: Vec<JobConfig> = space.iter_configs(job).collect();
-    configs
+    let traced = telemetry.enabled();
+    let (evaluated, feasible_n, infeasible_n) =
+        (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
+    let best = configs
         .into_par_iter()
         .enumerate()
         .filter_map(|(idx, config)| {
-            let ev = cache.evaluate(&config, catalog).ok()?;
+            if traced {
+                evaluated.fetch_add(1, Ordering::Relaxed);
+            }
+            let Ok(ev) = cache.evaluate(&config, catalog) else {
+                if traced {
+                    infeasible_n.fetch_add(1, Ordering::Relaxed);
+                }
+                return None;
+            };
             let (jct, bill) = (ev.jct_s(), ev.total_cost());
             let feasible = match objective {
                 Objective::MinimizeTime { budget } => bill <= budget,
                 Objective::MinimizeCost { deadline_s } => jct <= deadline_s,
             };
             if !feasible {
+                if traced {
+                    infeasible_n.fetch_add(1, Ordering::Relaxed);
+                }
                 return None;
+            }
+            if traced {
+                feasible_n.fetch_add(1, Ordering::Relaxed);
             }
             let key = match objective {
                 Objective::MinimizeTime { .. } => jct,
@@ -148,7 +189,18 @@ pub fn solve_exhaustive(
             Some((key, idx, config))
         })
         .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
-        .map(|(_, _, c)| c)
+        .map(|(_, _, c)| c);
+    if traced {
+        telemetry.counter("planner.exhaustive.evaluated", evaluated.into_inner());
+        telemetry.counter("planner.exhaustive.feasible", feasible_n.into_inner());
+        telemetry.counter("planner.exhaustive.infeasible", infeasible_n.into_inner());
+        let stats = cache.stats();
+        telemetry.counter("planner.cache.hits", stats.hits);
+        telemetry.counter("planner.cache.misses", stats.misses);
+        telemetry.gauge("planner.cache.entries", stats.entries as f64);
+        telemetry.gauge("planner.cache.hit_rate", stats.hit_rate());
+    }
+    best
 }
 
 /// Single-threaded, uncached reference for [`solve_exhaustive`]: the

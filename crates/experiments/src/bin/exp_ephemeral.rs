@@ -1,6 +1,6 @@
 //! Regenerates the intermediate-storage extension table; see module docs.
 fn main() {
-    astra_experiments::init_threads();
+    let _telemetry = astra_experiments::init();
     let mut out = astra_experiments::Output::new("exp_ephemeral");
     astra_experiments::exp_ephemeral::run(&mut out);
     out.save().expect("write results/");

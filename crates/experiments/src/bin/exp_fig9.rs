@@ -1,6 +1,6 @@
 //! Regenerates the corresponding paper artifact; see the module docs.
 fn main() {
-    astra_experiments::init_threads();
+    let _telemetry = astra_experiments::init();
     let mut out = astra_experiments::Output::new("exp_fig9");
     astra_experiments::exp_fig9::run(&mut out);
     out.save().expect("write results/");

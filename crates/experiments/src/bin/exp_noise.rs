@@ -1,6 +1,6 @@
 //! Regenerates the noise/failure robustness ablation; see module docs.
 fn main() {
-    astra_experiments::init_threads();
+    let _telemetry = astra_experiments::init();
     let mut out = astra_experiments::Output::new("exp_noise");
     astra_experiments::exp_noise::run(&mut out);
     out.save().expect("write results/");

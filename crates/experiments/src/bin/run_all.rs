@@ -4,7 +4,7 @@ use astra_experiments::*;
 type Experiment = (&'static str, fn(&mut Output));
 
 fn main() {
-    init_threads();
+    let _telemetry = init();
     let experiments: Vec<Experiment> = vec![
         ("exp_table1", exp_table1::run),
         ("exp_fig1_fig2", exp_fig1_fig2::run),

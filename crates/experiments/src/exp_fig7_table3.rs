@@ -98,7 +98,9 @@ pub fn run(out: &mut Output) {
 
     let mut fig7_rows = Vec::new();
     let mut table3_rows = Vec::new();
+    let mut phase_rows = Vec::new();
     let mut json_rows = Vec::new();
+    let mut json_phases = Vec::new();
     let mut notes: Vec<String> = Vec::new();
 
     for spec in WorkloadSpec::paper_suite() {
@@ -119,6 +121,30 @@ pub fn run(out: &mut Output) {
             format!("({}, {})", c.budget, c.astra.cost),
         ]);
         table3_rows.push(table3_row(&spec.label(), &job, &c.astra_plan));
+        // Exclusive phase partition of the last seed's run: where did
+        // the makespan go? Rows sum to 100 % by construction.
+        let breakdown = c.astra.last_report.phase_breakdown();
+        let jct = breakdown.total().as_secs_f64();
+        let pct = |d: astra_simcore::SimDuration| {
+            if jct > 0.0 { 100.0 * d.as_secs_f64() / jct } else { 0.0 }
+        };
+        let mut phase_row = vec![spec.label(), format!("{jct:.1}")];
+        phase_row.extend(
+            breakdown
+                .rows()
+                .iter()
+                .map(|&(_, d)| format!("{:.1}%", pct(d))),
+        );
+        phase_rows.push(phase_row);
+        json_phases.push(json!({
+            "workload": spec.label(),
+            "jct_s": jct,
+            "phases": breakdown
+                .rows()
+                .iter()
+                .map(|&(label, d)| json!({"phase": label, "seconds": d.as_secs_f64(), "pct": pct(d)}))
+                .collect::<Vec<_>>(),
+        }));
         for (name, m) in &c.baselines {
             if !m.timeout_violations.is_empty() {
                 notes.push(format!(
@@ -173,6 +199,15 @@ pub fn run(out: &mut Output) {
         ],
         &table3_rows,
     );
+    out.blank();
+    out.heading("Phase breakdown of Astra's runs (exclusive share of JCT, last seed)");
+    out.line("(priority when phases overlap: cold > GET > PUT > compute > wait > queued)");
+    out.table(
+        &[
+            "workload", "JCT (s)", "cold", "get", "put", "compute", "wait", "queued", "idle",
+        ],
+        &phase_rows,
+    );
     if !notes.is_empty() {
         out.blank();
         out.line("Timeout notes:");
@@ -181,6 +216,7 @@ pub fn run(out: &mut Output) {
         }
     }
     out.record("rows", json!(json_rows));
+    out.record("phase_breakdown", json!(json_phases));
     out.record("timeout_notes", json!(notes));
 }
 

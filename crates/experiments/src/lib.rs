@@ -64,3 +64,71 @@ pub fn init_threads() {
         let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
     }
 }
+
+/// Finalizes telemetry capture when an experiment binary exits.
+///
+/// Returned by [`init`]; on drop it stops the process-global recorder,
+/// prints the counter/gauge summary to stderr (`--metrics`), and writes
+/// the Chrome trace (`--trace-out <path>`). Holding it for the whole of
+/// `main` means every planner/simulator call in between is captured.
+pub struct TelemetryGuard {
+    recorder: Option<std::sync::Arc<astra_telemetry::sinks::ChromeTraceRecorder>>,
+    trace_out: Option<String>,
+    metrics: bool,
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        let Some(rec) = self.recorder.take() else { return };
+        astra_telemetry::install_global(astra_telemetry::Telemetry::disabled());
+        if self.metrics {
+            eprintln!("-- telemetry --");
+            for line in rec.inner().summary_lines() {
+                eprintln!("{line}");
+            }
+        }
+        if let Some(path) = &self.trace_out {
+            match rec.write_to(path) {
+                Ok(()) => eprintln!(
+                    "trace written to {path} (open in chrome://tracing or Perfetto)"
+                ),
+                Err(e) => eprintln!("failed to write trace to {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// Initialize an experiment binary: pin threads ([`init_threads`]) and,
+/// when `--trace-out <path>` or `--metrics` is on the command line,
+/// install a process-global Chrome-trace recorder that the planner and
+/// simulator pick up at construction time. Telemetry is observational:
+/// the experiment's tables and JSON are bit-identical with it on or off.
+///
+/// Bind the result for the duration of `main`:
+/// `let _telemetry = astra_experiments::init();`
+pub fn init() -> TelemetryGuard {
+    init_threads();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = argv
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--trace-out needs a path");
+                std::process::exit(2);
+            })
+        });
+    let metrics = argv.iter().any(|a| a == "--metrics");
+    let recorder = if trace_out.is_some() || metrics {
+        let rec = std::sync::Arc::new(astra_telemetry::sinks::ChromeTraceRecorder::new());
+        astra_telemetry::install_global(astra_telemetry::Telemetry::new(rec.clone()));
+        Some(rec)
+    } else {
+        None
+    };
+    TelemetryGuard {
+        recorder,
+        trace_out,
+        metrics,
+    }
+}

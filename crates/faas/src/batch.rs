@@ -88,9 +88,9 @@ impl SimBatch {
     /// Execute every run in parallel; results come back in push order and
     /// are bit-identical to a serial loop at any thread count.
     pub fn run(self) -> Vec<Result<SimReport, SimError>> {
-        self.runs
-            .into_par_iter()
-            .map(|r| FaasSim::new(r.config, &r.inputs).run(r.roots))
+        let runs: Vec<(usize, BatchRun)> = self.runs.into_iter().enumerate().collect();
+        runs.into_par_iter()
+            .map(|(index, r)| run_case(index, r))
             .collect()
     }
 
@@ -99,9 +99,33 @@ impl SimBatch {
     pub fn run_serial(self) -> Vec<Result<SimReport, SimError>> {
         self.runs
             .into_iter()
-            .map(|r| FaasSim::new(r.config, &r.inputs).run(r.roots))
+            .enumerate()
+            .map(|(index, r)| run_case(index, r))
             .collect()
     }
+}
+
+/// Execute one batch case, wrapped (when telemetry is enabled) in a
+/// wall-clock span whose track names the executing worker thread — the
+/// Chrome trace then shows how the sweep was scheduled across cores.
+/// Thread attribution is wall-clock metadata only; the report itself is
+/// a pure function of the run (the determinism tests enforce this).
+fn run_case(index: usize, r: BatchRun) -> Result<SimReport, SimError> {
+    let tel = r.config.telemetry.clone();
+    let _span = if tel.enabled() {
+        let track = format!("sweep-worker-{:?}", std::thread::current().id());
+        Some(tel.wall_span(track, format!("case-{index}"), "batch_case"))
+    } else {
+        None
+    };
+    let result = FaasSim::new(r.config, &r.inputs).run(r.roots);
+    if tel.enabled() {
+        tel.counter("batch.cases", 1);
+        if result.is_err() {
+            tel.counter("batch.failed_cases", 1);
+        }
+    }
+    result
 }
 
 /// Derive the seed for replication `index` of a sweep keyed by `base`.

@@ -8,6 +8,7 @@ use astra_simcore::{
     EventQueue, FifoTokens, NoiseModel, SimDuration, SimTime, SpanKind, TraceLog,
 };
 use astra_storage::StorageLedger;
+use astra_telemetry::{Clock, SpanRecord, Telemetry};
 
 use crate::ops::{LambdaSpec, Op, StoreKind};
 use crate::report::{Invoice, SimReport};
@@ -39,6 +40,13 @@ pub struct SimConfig {
     /// saw mostly cold starts; the `exp_warm` ablation measures the
     /// difference.
     pub container_reuse: bool,
+    /// Observability sink. Disabled by default; [`SimConfig::deterministic`]
+    /// snapshots the process-global handle (`astra_telemetry::global()`),
+    /// so binaries that install a recorder before building configs get
+    /// engine spans and counters with no extra plumbing. Telemetry is
+    /// purely observational — enabling it never changes a report bit (see
+    /// `astra-telemetry`'s determinism contract).
+    pub telemetry: Telemetry,
 }
 
 impl SimConfig {
@@ -52,6 +60,7 @@ impl SimConfig {
             failure_rate: 0.0,
             max_retries: 2,
             container_reuse: false,
+            telemetry: astra_telemetry::global(),
         }
     }
 
@@ -78,6 +87,13 @@ impl SimConfig {
     /// Replace the price catalog.
     pub fn with_catalog(mut self, catalog: PriceCatalog) -> Self {
         self.catalog = catalog;
+        self
+    }
+
+    /// Attach an explicit telemetry handle (overriding the process-global
+    /// snapshot taken by [`SimConfig::deterministic`]).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -160,6 +176,11 @@ struct LambdaState {
     waiting: bool,
     queued: bool,
     attempts: u32,
+    /// Telemetry id of this invocation's span (0 when telemetry is
+    /// disabled). Allocated at enqueue time so child phases and child
+    /// invocations can parent under it before the span itself is
+    /// reported at finish.
+    span_id: u64,
 }
 
 /// The simulator. Create one per job run.
@@ -231,6 +252,28 @@ impl FaasSim {
         }
     }
 
+    /// Mirror an engine trace interval as a sim-clock telemetry span
+    /// parented to invocation `id`'s span. Callers check
+    /// `self.config.telemetry.enabled()` first so the disabled path never
+    /// allocates the payload.
+    fn tel_span(&self, id: usize, name: &'static str, kind: &'static str, start: SimTime, end: SimTime) {
+        let tel = &self.config.telemetry;
+        let wall = astra_telemetry::wall_clock_ns();
+        let parent = self.states[id].span_id;
+        tel.span(SpanRecord {
+            track: self.states[id].name.clone(),
+            name: Arc::from(name),
+            kind,
+            clock: Clock::Sim,
+            sim_start_us: start.as_micros(),
+            sim_end_us: end.as_micros(),
+            wall_start_ns: wall,
+            wall_end_ns: wall,
+            id: tel.next_span_id(),
+            parent: (parent != 0).then_some(parent),
+        });
+    }
+
     /// Execute `roots` (invoked at t = 0) to completion.
     pub fn run(mut self, roots: Vec<LambdaSpec>) -> Result<SimReport, SimError> {
         self.states.reserve(roots.len());
@@ -259,6 +302,17 @@ impl FaasSim {
         };
         let lambda_cost: Money = self.invoices.iter().map(|i| i.cost).sum();
         let events = self.queue.events_processed();
+        let tel = &self.config.telemetry;
+        if tel.enabled() {
+            tel.counter("engine.events", events);
+            tel.counter("engine.heap_sifts", self.queue.heap_sifts());
+            tel.counter("engine.interned_names", self.states.len() as u64);
+            tel.counter("engine.invocations", self.invoices.len() as u64);
+            tel.counter("engine.crashes", self.crashes);
+            tel.counter("engine.warm_starts", self.warm_starts);
+            tel.counter("engine.queued", self.tokens.total_waits());
+            tel.gauge("engine.peak_concurrency", self.peak_running as f64);
+        }
         Ok(SimReport {
             makespan,
             lambda_cost,
@@ -298,6 +352,7 @@ impl FaasSim {
             waiting: false,
             queued: false,
             attempts: 0,
+            span_id: self.config.telemetry.next_span_id(),
         });
         self.queue.schedule_now(Event::Arrive(id));
         Ok(id)
@@ -324,6 +379,9 @@ impl FaasSim {
                     let name = self.states[id].name.clone();
                     self.trace
                         .record(name, SpanKind::QueuedConcurrency, arrived, now);
+                    if self.config.telemetry.enabled() {
+                        self.tel_span(id, "queued", "queued", arrived, now);
+                    }
                 }
                 let mem = self.states[id].spec.memory_mb;
                 let warm = self.config.container_reuse
@@ -342,6 +400,9 @@ impl FaasSim {
                 if cold > SimDuration::ZERO {
                     let name = self.states[id].name.clone();
                     self.trace.record(name, SpanKind::ColdStart, now, now + cold);
+                    if self.config.telemetry.enabled() {
+                        self.tel_span(id, "cold_start", "cold_start", now, now + cold);
+                    }
                 }
                 self.queue.schedule(now + cold, Event::Ready(id));
                 Ok(())
@@ -373,6 +434,12 @@ impl FaasSim {
                         let name = self.states[id].name.clone();
                         self.trace.record(name, SpanKind::ColdStart, now, now + cold);
                     }
+                    if self.config.telemetry.enabled() {
+                        self.config.telemetry.counter("engine.retries", 1);
+                        // Annotated `retry` name so traces distinguish a
+                        // first-launch cold start from a retry's.
+                        self.tel_span(id, "retry_cold_start", "cold_start", now, now + cold);
+                    }
                     self.queue.schedule(now + cold, Event::Ready(id));
                     return Ok(());
                 }
@@ -382,14 +449,18 @@ impl FaasSim {
             Event::OpDone(id) => {
                 let now = self.queue.now();
                 let st = &self.states[id];
-                let kind = match &st.spec.ops[st.op_idx] {
-                    Op::Get { .. } => SpanKind::StorageGet,
-                    Op::Put { .. } => SpanKind::StoragePut,
-                    Op::Compute { .. } | Op::Spawn { .. } => SpanKind::Compute,
+                let (kind, tel_name, tel_kind) = match &st.spec.ops[st.op_idx] {
+                    Op::Get { .. } => (SpanKind::StorageGet, "get", "storage_get"),
+                    Op::Put { .. } => (SpanKind::StoragePut, "put", "storage_put"),
+                    Op::Compute { .. } => (SpanKind::Compute, "compute", "compute"),
+                    Op::Spawn { .. } => (SpanKind::Compute, "spawn", "compute"),
                 };
                 let start = st.op_started;
                 let name = st.name.clone();
                 self.trace.record(name, kind, start, now);
+                if self.config.telemetry.enabled() {
+                    self.tel_span(id, tel_name, tel_kind, start, now);
+                }
                 self.check_timeout(id)?;
                 let st = &mut self.states[id];
                 match &mut st.spec.ops[st.op_idx] {
@@ -491,6 +562,30 @@ impl FaasSim {
     fn finish(&mut self, id: usize) -> Result<(), SimError> {
         let now = self.queue.now();
         self.check_timeout(id)?;
+        if self.config.telemetry.enabled() {
+            // The invocation span covers arrival → finish (so queueing,
+            // cold starts and every op nest inside it), unlike the
+            // billing-oriented TraceLog span which starts at the handler.
+            // Clients get one too: they are the roots of the spawn tree.
+            let st = &self.states[id];
+            let parent = st
+                .parent
+                .map(|p| self.states[p].span_id)
+                .filter(|&p| p != 0);
+            let wall = astra_telemetry::wall_clock_ns();
+            self.config.telemetry.span(SpanRecord {
+                track: st.name.clone(),
+                name: Arc::from("invocation"),
+                kind: "invocation",
+                clock: Clock::Sim,
+                sim_start_us: st.arrived.as_micros(),
+                sim_end_us: now.as_micros(),
+                wall_start_ns: wall,
+                wall_end_ns: wall,
+                id: st.span_id,
+                parent,
+            });
+        }
         if !self.states[id].spec.client {
             self.running -= 1;
             if self.config.container_reuse {
@@ -517,6 +612,9 @@ impl FaasSim {
                     let name = st.name.clone();
                     self.trace
                         .record(name, SpanKind::WaitChildren, wait_start, now);
+                    if self.config.telemetry.enabled() {
+                        self.tel_span(parent, "wait_children", "wait_children", wait_start, now);
+                    }
                     self.check_timeout(parent)?;
                     return self.advance(parent);
                 }
@@ -953,6 +1051,74 @@ mod tests {
         .run(vec![spec])
         .unwrap();
         assert_eq!(report.warm_starts, 0);
+    }
+
+    #[test]
+    fn telemetry_spans_nest_under_invocations_and_change_nothing() {
+        let mut p = platform();
+        p.cold_start_s = 0.5;
+        let spec = LambdaSpec::new(
+            "f",
+            128,
+            vec![
+                Op::Get {
+                    key: "in".into(),
+                    store: StoreKind::Persistent,
+                },
+                Op::Compute { secs_at_128: 1.0 },
+            ],
+        );
+        let inputs = [("in".to_string(), 20.0)];
+        let plain = FaasSim::new(SimConfig::deterministic(p.clone()), &inputs)
+            .run(vec![spec.clone()])
+            .unwrap();
+        let (tel, rec) = astra_telemetry::sinks::in_memory();
+        let traced = FaasSim::new(SimConfig::deterministic(p).with_telemetry(tel), &inputs)
+            .run(vec![spec])
+            .unwrap();
+        // Observational only: the report is bit-identical.
+        assert_eq!(plain.makespan, traced.makespan);
+        assert_eq!(plain.invoices, traced.invoices);
+        assert_eq!(plain.events, traced.events);
+        // Structure: one invocation span; phases parent under it.
+        let spans = rec.spans();
+        let inv: Vec<_> = spans.iter().filter(|s| s.kind == "invocation").collect();
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].sim_start_us, 0);
+        assert_eq!(inv[0].sim_end_us, traced.makespan.as_micros());
+        for s in spans.iter().filter(|s| s.kind != "invocation") {
+            assert_eq!(s.parent, Some(inv[0].id), "{} must nest", s.name);
+        }
+        let kinds: Vec<&str> = spans.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&"cold_start"));
+        assert!(kinds.contains(&"storage_get"));
+        assert!(kinds.contains(&"compute"));
+        assert_eq!(rec.counter_value("engine.events"), traced.events);
+        assert_eq!(rec.counter_value("engine.invocations"), 1);
+    }
+
+    #[test]
+    fn retries_are_counted_and_annotated() {
+        let cfg = SimConfig {
+            failure_rate: 0.5,
+            max_retries: 50,
+            seed: 3,
+            ..SimConfig::deterministic(platform())
+        };
+        let (tel, rec) = astra_telemetry::sinks::in_memory();
+        let specs: Vec<LambdaSpec> = (0..20)
+            .map(|i| LambdaSpec::new(format!("f{i}"), 128, vec![Op::Compute { secs_at_128: 1.0 }]))
+            .collect();
+        let report = FaasSim::new(cfg.with_telemetry(tel), &[]).run(specs).unwrap();
+        assert!(report.crashes > 0);
+        assert_eq!(rec.counter_value("engine.retries"), report.crashes);
+        assert_eq!(rec.counter_value("engine.crashes"), report.crashes);
+        let retry_spans = rec
+            .spans()
+            .iter()
+            .filter(|s| &*s.name == "retry_cold_start")
+            .count();
+        assert_eq!(retry_spans as u64, report.crashes);
     }
 
     #[test]

@@ -32,4 +32,4 @@ pub mod report;
 pub use batch::{derive_seed, BatchRun, SimBatch};
 pub use engine::{FaasSim, SimConfig, SimError};
 pub use ops::{LambdaSpec, Op, StoreKind};
-pub use report::{Invoice, SimReport};
+pub use report::{Invoice, PhaseBreakdown, SimReport, StagePhases};

@@ -7,7 +7,7 @@ use crate::graph::{DiGraph, EdgeId, NodeId};
 
 /// Lazily enumerates simple paths from source to target in non-decreasing
 /// weight order (Yen 1971, with the lazy-candidate variant the paper's
-/// shortest-path reference [25] discusses).
+/// shortest-path reference \[25\] discusses).
 ///
 /// The Astra planner uses this as one of its exact constrained solvers: pop
 /// paths in objective order until one satisfies the budget/QoS side

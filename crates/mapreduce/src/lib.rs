@@ -7,14 +7,15 @@
 //! through the object store. This crate materialises an
 //! `astra_core::Plan` in two ways:
 //!
-//! * [`compile`] + [`simulate`] — compile the plan into `astra-faas` op
+//! * [`compile()`](compile::compile) + [`simulate()`](simulate::simulate)
+//!   — compile the plan into `astra-faas` op
 //!   scripts and execute them on the discrete-event simulator. This is
 //!   how the paper-scale experiments (GB inputs, hundreds of lambdas)
 //!   "run": data is represented by sizes, timing and billing are
 //!   physical. Used for every figure in EXPERIMENTS.md.
 //! * [`local`] — execute the *same orchestration* with real threads over
 //!   real bytes in a [`MemStore`](astra_storage::MemStore), with the
-//!   user-supplied [`MapReduceApp`](apps::MapReduceApp) doing actual
+//!   user-supplied [`apps::MapReduceApp`] doing actual
 //!   analytics. This validates end-to-end correctness: wordcount counts,
 //!   sort orders, query aggregates (see `astra-workloads`).
 //!

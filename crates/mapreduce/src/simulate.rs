@@ -39,10 +39,26 @@ pub struct SimCase<'a> {
 /// run serially, at any `RAYON_NUM_THREADS`. This is the fan-out point
 /// for the experiment harness's Monte-Carlo sweeps: seeds × plans × jobs
 /// flatten into one batch and saturate the machine.
+///
+/// When a case's telemetry handle is enabled, the case is wrapped in a
+/// wall-clock span on a per-worker-thread track (`sweep-worker-…`), so a
+/// Chrome trace shows how the sweep was scheduled across cores. Purely
+/// observational: the reports are unchanged.
 pub fn simulate_batch(cases: Vec<SimCase<'_>>) -> Vec<Result<SimReport, SimError>> {
+    let cases: Vec<(usize, SimCase<'_>)> = cases.into_iter().enumerate().collect();
     cases
         .into_par_iter()
-        .map(|c| simulate(c.job, c.plan, c.config))
+        .map(|(index, c)| {
+            let tel = c.config.telemetry.clone();
+            let _span = if tel.enabled() {
+                let track = format!("sweep-worker-{:?}", std::thread::current().id());
+                let name = format!("case-{index}-{}", c.job.name);
+                Some(tel.wall_span(track, name, "sim_case"))
+            } else {
+                None
+            };
+            simulate(c.job, c.plan, c.config)
+        })
         .collect()
 }
 

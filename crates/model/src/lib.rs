@@ -18,9 +18,9 @@
 //! |---|---|
 //! | Lambda memory tiers, speed ∝ memory (Sec. II-C) | [`platform`] |
 //! | Mapper lifetime, Eq. 1–4 | [`perf::mapper_phase`] |
-//! | Coordinator lifetime, Eq. 5–6 | [`perf::coordinator_phase`] |
+//! | Coordinator lifetime, Eq. 5–6 | [`perf::coordinator_compute_secs`] |
 //! | Reducer-step schedule, Table II | [`schedule`] |
-//! | Reducing phase, Eq. 7–9 | [`perf::reduce_phase`] |
+//! | Reducing phase, Eq. 7–9 | [`perf::ReducePhase`] |
 //! | Request / storage / runtime cost, Eq. 10–15 | [`cost`] |
 //!
 //! ## Documented deviations from the paper's literal formulas

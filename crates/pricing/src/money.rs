@@ -70,6 +70,18 @@ impl Money {
     /// of truncating toward it (what `/` does). Use for averaging bills:
     /// truncation systematically undercounts the mean by up to one
     /// nano-dollar per division, which compounds across sweep tables.
+    ///
+    /// ```
+    /// use astra_pricing::Money;
+    ///
+    /// // 7/2 = 3.5 rounds away from zero; `/` truncates toward it.
+    /// assert_eq!(Money::from_nanos(7).div_round(2), Money::from_nanos(4));
+    /// assert_eq!(Money::from_nanos(7) / 2, Money::from_nanos(3));
+    /// // Negative amounts round symmetrically (-3.5 → -4).
+    /// assert_eq!(Money::from_nanos(-7).div_round(2), Money::from_nanos(-4));
+    /// // Exact halves go away from zero, not to-even: 2.5 → 3.
+    /// assert_eq!(Money::from_nanos(10).div_round(4), Money::from_nanos(3));
+    /// ```
     pub const fn div_round(self, rhs: i128) -> Money {
         assert!(rhs > 0, "div_round divisor must be positive");
         let half = rhs / 2;

@@ -1,0 +1,356 @@
+#![warn(missing_docs)]
+
+//! Zero-cost-when-disabled structured observability for the Astra stack.
+//!
+//! The simulator, the planner and the sweep harness are instrumented with
+//! *spans* (hierarchical intervals carrying both a simulated-clock and a
+//! wall-clock timestamp), *counters* (monotonic event tallies such as
+//! `engine.events` or `planner.cache.hits`), *gauges* (last-value
+//! observations) and *values* (histogram-style samples). All of it flows
+//! through a [`Telemetry`] handle into a pluggable [`Recorder`] sink:
+//!
+//! * [`NullRecorder`] — discards everything; used to measure pure
+//!   dispatch overhead (see `astra-sim-bench`'s `telemetry_null` bench);
+//! * [`InMemoryRecorder`] — collects spans and metrics for tests and
+//!   `--metrics` summaries;
+//! * [`ChromeTraceRecorder`] — serializes a `trace.json` loadable in
+//!   `chrome://tracing` / [Perfetto](https://ui.perfetto.dev).
+//!
+//! The default handle is **disabled**: every instrumentation site reduces
+//! to one branch on an `Option` that is `None`, no allocation, no clock
+//! read, no lock. That is what keeps telemetry out of the engine's hot
+//! pop/handle/schedule cycle when nobody is watching (the overhead bench
+//! gates it).
+//!
+//! ## Determinism contract
+//!
+//! Telemetry is strictly *observational*: it never draws from a
+//! simulation RNG, never schedules or reorders events, and never feeds
+//! anything back into the simulated state. Enabling any sink therefore
+//! leaves every `SimReport` and every plan bit-identical to a run without
+//! it, at any thread count — `tests/telemetry_determinism.rs` enforces
+//! this. Wall-clock stamps and thread attributions naturally differ
+//! between runs; simulated-clock stamps do not.
+//!
+//! ## Two clocks
+//!
+//! Every span records both clocks because they answer different
+//! questions: *simulated* time locates an interval inside the modelled
+//! job (where does JCT go?), while *wall* time locates the work on the
+//! host (where does planning/sweep latency go, and on which thread?).
+//! Sim-clock spans (engine phases) have [`Clock::Sim`]; wall-clock spans
+//! (planner passes, batch cases) have [`Clock::Wall`] and leave the sim
+//! stamps at zero.
+//!
+//! See `OBSERVABILITY.md` at the repository root for the complete span
+//! taxonomy and counter catalogue.
+
+pub mod sinks;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+pub use sinks::{ChromeTraceRecorder, InMemoryRecorder, NullRecorder, ValueStats};
+
+/// Which clock a span's primary interval is measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Simulated microseconds (`SimTime`): engine phases.
+    Sim,
+    /// Host wall-clock nanoseconds since process start: planner passes,
+    /// batch cases.
+    Wall,
+}
+
+/// One completed span, reported to the [`Recorder`] when it ends.
+///
+/// Hierarchy is explicit: `parent` names the enclosing span's `id`
+/// (e.g. an S3-GET span points at its invocation span, a retried
+/// invocation's phases point at the same invocation id). Ids are unique
+/// per [`Telemetry`] handle and never zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Display lane: the actor (`"mapper-3"`) for sim spans, a logical
+    /// component (`"planner"`, `"sweep-worker-…"`) for wall spans.
+    pub track: Arc<str>,
+    /// What the span is (`"get"`, `"compute"`, `"invocation"`, …).
+    pub name: Arc<str>,
+    /// Coarse category used for Chrome-trace `cat` and phase grouping.
+    pub kind: &'static str,
+    /// Which clock `…_start`/`…_end` below are authoritative on.
+    pub clock: Clock,
+    /// Simulated start (µs); 0 for wall spans.
+    pub sim_start_us: u64,
+    /// Simulated end (µs); 0 for wall spans.
+    pub sim_end_us: u64,
+    /// Wall start (ns since process start).
+    pub wall_start_ns: u64,
+    /// Wall end (ns since process start).
+    pub wall_end_ns: u64,
+    /// Unique span id (non-zero).
+    pub id: u64,
+    /// Enclosing span id, if any.
+    pub parent: Option<u64>,
+}
+
+/// A sink for telemetry events. Implementations must be cheap and
+/// thread-safe: spans and counters arrive from every worker thread.
+///
+/// All methods are *observations*; a recorder must never feed anything
+/// back into the instrumented computation (the determinism contract in
+/// the crate docs).
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// A span completed.
+    fn span(&self, span: &SpanRecord);
+    /// Add `delta` to the named monotonic counter.
+    fn counter(&self, name: &'static str, delta: u64);
+    /// Record the latest value of a named gauge.
+    fn gauge(&self, name: &'static str, value: f64);
+    /// Record one sample of a named value distribution.
+    fn value(&self, name: &'static str, sample: f64);
+}
+
+/// Nanoseconds of wall clock elapsed since the first telemetry use in
+/// this process. Monotonic; shared by every handle so spans from
+/// different layers land on one timeline.
+pub fn wall_clock_ns() -> u64 {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// A cloneable handle instrumentation sites call into.
+///
+/// Disabled by default ([`Telemetry::disabled`], also `Default`): every
+/// method is then a single `Option` branch. Clones share the sink and
+/// the span-id allocator.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    sink: Option<Arc<dyn Recorder>>,
+    ids: Arc<AtomicU64>,
+}
+
+impl Telemetry {
+    /// The no-op handle.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// A handle feeding `recorder`.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        Telemetry {
+            sink: Some(recorder),
+            ids: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// True when a recorder is attached. Instrumentation sites that need
+    /// to build span payloads (allocate names, read clocks) must check
+    /// this first so the disabled path stays free.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Allocate a fresh span id (0 when disabled — never a valid id).
+    #[inline]
+    pub fn next_span_id(&self) -> u64 {
+        match &self.sink {
+            Some(_) => self.ids.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Report a completed span.
+    #[inline]
+    pub fn span(&self, record: SpanRecord) {
+        if let Some(sink) = &self.sink {
+            sink.span(&record);
+        }
+    }
+
+    /// Add `delta` to a named counter.
+    #[inline]
+    pub fn counter(&self, name: &'static str, delta: u64) {
+        if let Some(sink) = &self.sink {
+            sink.counter(name, delta);
+        }
+    }
+
+    /// Record a gauge observation.
+    #[inline]
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if let Some(sink) = &self.sink {
+            sink.gauge(name, value);
+        }
+    }
+
+    /// Record one sample of a value distribution.
+    #[inline]
+    pub fn value(&self, name: &'static str, sample: f64) {
+        if let Some(sink) = &self.sink {
+            sink.value(name, sample);
+        }
+    }
+
+    /// Start a wall-clock span; it reports itself when dropped (or via
+    /// [`WallSpan::finish`]). Free when disabled.
+    pub fn wall_span(
+        &self,
+        track: impl Into<Arc<str>>,
+        name: impl Into<Arc<str>>,
+        kind: &'static str,
+    ) -> WallSpan {
+        if !self.enabled() {
+            return WallSpan { open: None };
+        }
+        WallSpan {
+            open: Some(OpenWallSpan {
+                telemetry: self.clone(),
+                track: track.into(),
+                name: name.into(),
+                kind,
+                start_ns: wall_clock_ns(),
+                id: self.next_span_id(),
+                parent: None,
+            }),
+        }
+    }
+}
+
+struct OpenWallSpan {
+    telemetry: Telemetry,
+    track: Arc<str>,
+    name: Arc<str>,
+    kind: &'static str,
+    start_ns: u64,
+    id: u64,
+    parent: Option<u64>,
+}
+
+/// RAII guard for a wall-clock span (see [`Telemetry::wall_span`]).
+pub struct WallSpan {
+    open: Option<OpenWallSpan>,
+}
+
+impl WallSpan {
+    /// This span's id, for parenting children under it (0 if disabled).
+    pub fn id(&self) -> u64 {
+        self.open.as_ref().map(|o| o.id).unwrap_or(0)
+    }
+
+    /// Set the parent span id (ignored when disabled).
+    pub fn set_parent(&mut self, parent: u64) {
+        if let Some(o) = &mut self.open {
+            o.parent = (parent != 0).then_some(parent);
+        }
+    }
+
+    /// End the span now (identical to dropping it, but explicit).
+    pub fn finish(self) {}
+}
+
+impl Drop for WallSpan {
+    fn drop(&mut self) {
+        if let Some(o) = self.open.take() {
+            let end = wall_clock_ns();
+            o.telemetry.span(SpanRecord {
+                track: o.track,
+                name: o.name,
+                kind: o.kind,
+                clock: Clock::Wall,
+                sim_start_us: 0,
+                sim_end_us: 0,
+                wall_start_ns: o.start_ns,
+                wall_end_ns: end,
+                id: o.id,
+                parent: o.parent,
+            });
+        }
+    }
+}
+
+fn global_slot() -> &'static parking_lot::RwLock<Telemetry> {
+    static GLOBAL: OnceLock<parking_lot::RwLock<Telemetry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| parking_lot::RwLock::new(Telemetry::disabled()))
+}
+
+/// Install `telemetry` as the process-global default picked up by
+/// [`global`] (and therefore by `SimConfig::deterministic` and the
+/// `Astra` constructors). Binaries call this once at startup after
+/// parsing `--trace-out` / `--metrics`; libraries never call it.
+pub fn install_global(telemetry: Telemetry) {
+    *global_slot().write() = telemetry;
+}
+
+/// A clone of the process-global handle (disabled unless a binary
+/// installed one via [`install_global`]).
+pub fn global() -> Telemetry {
+    global_slot().read().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        assert_eq!(t.next_span_id(), 0);
+        t.counter("x", 1);
+        t.gauge("g", 1.0);
+        t.value("v", 1.0);
+        let span = t.wall_span("track", "name", "kind");
+        assert_eq!(span.id(), 0);
+        span.finish();
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nonzero() {
+        let t = Telemetry::new(Arc::new(NullRecorder));
+        let a = t.next_span_id();
+        let b = t.next_span_id();
+        let c = t.clone().next_span_id();
+        assert!(a != 0 && b != 0 && c != 0);
+        assert!(a != b && b != c && a != c, "clones share the allocator");
+    }
+
+    #[test]
+    fn wall_span_reports_on_drop() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let t = Telemetry::new(rec.clone());
+        {
+            let mut outer = t.wall_span("planner", "plan", "planner");
+            outer.set_parent(0); // no-op: zero is never a valid parent
+            let mut inner = t.wall_span("planner", "solve", "planner");
+            inner.set_parent(outer.id());
+            drop(inner);
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner dropped first.
+        assert_eq!(&*spans[0].name, "solve");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].parent, None);
+        assert!(spans[0].wall_end_ns >= spans[0].wall_start_ns);
+        assert_eq!(spans[0].clock, Clock::Wall);
+    }
+
+    #[test]
+    fn global_defaults_to_disabled_and_installs() {
+        // Note: other tests in this binary do not touch the global slot.
+        assert!(!global().enabled());
+        install_global(Telemetry::new(Arc::new(NullRecorder)));
+        assert!(global().enabled());
+        install_global(Telemetry::disabled());
+        assert!(!global().enabled());
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let a = wall_clock_ns();
+        let b = wall_clock_ns();
+        assert!(b >= a);
+    }
+}

@@ -26,4 +26,5 @@ pub use astra_model as model;
 pub use astra_pricing as pricing;
 pub use astra_simcore as simcore;
 pub use astra_storage as storage;
+pub use astra_telemetry as telemetry;
 pub use astra_workloads as workloads;

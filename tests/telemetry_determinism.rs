@@ -1,0 +1,191 @@
+//! Telemetry must be purely observational: attaching a recorder — even
+//! the full Chrome-trace sink — may never change a plan, a report, or a
+//! single float, at any thread count. These tests pin that contract,
+//! plus the structural guarantees the trace itself makes (spans nest
+//! along the spawn tree; the exclusive phase partition sums to the JCT).
+
+use std::sync::{Arc, Mutex};
+
+use astra::core::Objective;
+use astra::faas::{SimConfig, SimReport};
+use astra::mapreduce::simulate;
+use astra::model::Platform;
+use astra::telemetry::{self, sinks, ChromeTraceRecorder, Telemetry};
+use astra::workloads::WorkloadSpec;
+use astra_experiments::harness;
+
+/// The thread counts swept. The rayon shim re-reads `RAYON_NUM_THREADS`
+/// on each parallel call, so sweeping it inside one process is sound.
+const THREADS: [&str; 3] = ["1", "2", "8"];
+
+/// Tests here install the process-global telemetry handle; serialize
+/// them so one test's recorder never captures another's spans.
+static GLOBAL_TELEMETRY: Mutex<()> = Mutex::new(());
+
+fn assert_reports_identical(a: &SimReport, b: &SimReport, context: &str) {
+    assert_eq!(a.makespan, b.makespan, "makespan ({context})");
+    assert_eq!(a.total_cost(), b.total_cost(), "cost ({context})");
+    assert_eq!(a.invoices, b.invoices, "invoices ({context})");
+    assert_eq!(a.events, b.events, "event count ({context})");
+    assert_eq!(a.ledger.gets, b.ledger.gets, "gets ({context})");
+    assert_eq!(a.ledger.puts, b.ledger.puts, "puts ({context})");
+}
+
+/// The acceptance bar: planner output and simulator reports are
+/// bit-identical with telemetry disabled versus a Chrome-trace recorder
+/// enabled, at 1, 2 and 8 threads.
+#[test]
+fn chrome_trace_recording_changes_no_output_at_any_thread_count() {
+    let _guard = GLOBAL_TELEMETRY.lock().unwrap();
+    let job = WorkloadSpec::wordcount_gb(1).into_job();
+
+    // Baseline: telemetry disabled (the default global).
+    telemetry::install_global(Telemetry::disabled());
+    let base_plan = harness::astra().plan(&job, Objective::fastest()).unwrap();
+    let base_report = simulate(
+        &job,
+        &base_plan,
+        SimConfig::deterministic(Platform::aws_lambda()).with_noise(0.2, 11),
+    )
+    .unwrap();
+
+    for threads in THREADS {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let rec = Arc::new(ChromeTraceRecorder::new());
+        telemetry::install_global(Telemetry::new(rec.clone()));
+        // Planner and SimConfig snapshot the global at construction.
+        let plan = harness::astra().plan(&job, Objective::fastest()).unwrap();
+        let report = simulate(
+            &job,
+            &plan,
+            SimConfig::deterministic(Platform::aws_lambda()).with_noise(0.2, 11),
+        )
+        .unwrap();
+        telemetry::install_global(Telemetry::disabled());
+
+        assert_eq!(plan, base_plan, "plan changed under telemetry @{threads}");
+        assert_reports_identical(&report, &base_report, &format!("@{threads} threads"));
+        assert!(
+            !rec.inner().spans().is_empty(),
+            "the recorder must actually have captured spans @{threads}"
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+/// Invocation spans must nest along the spawn tree, and every phase
+/// span must hang off its own actor's invocation span.
+#[test]
+fn in_memory_span_nesting_matches_the_spawn_tree() {
+    let job = WorkloadSpec::wordcount_gb(1).into_job();
+    let plan = harness::astra().plan(&job, Objective::cheapest()).unwrap();
+    let (tel, rec) = sinks::in_memory();
+    let config = SimConfig::deterministic(Platform::aws_lambda()).with_telemetry(tel);
+    simulate(&job, &plan, config).unwrap();
+
+    let spans = rec.spans();
+    let invocations: Vec<_> = spans.iter().filter(|s| s.kind == "invocation").collect();
+    assert!(invocations.len() > 2, "mappers + coordinator at least");
+
+    // Exactly one root: the client driver.
+    let roots: Vec<_> = invocations.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "one spawn-tree root");
+    assert_eq!(&*roots[0].track, "client-driver");
+    let root_id = roots[0].id;
+
+    // Every other invocation's parent is some invocation span, and the
+    // first-wave workers (mappers) hang directly off the driver.
+    for inv in &invocations {
+        if let Some(p) = inv.parent {
+            assert!(
+                invocations.iter().any(|other| other.id == p),
+                "{}: parent {p} is not an invocation span",
+                inv.track
+            );
+        }
+        if inv.track.starts_with("mapper-") {
+            assert_eq!(inv.parent, Some(root_id), "{} not under driver", inv.track);
+        }
+    }
+
+    // Phase spans (cold_start/get/compute/put/queued) nest under their
+    // own actor's invocation span — same track, matching id.
+    for span in spans.iter().filter(|s| s.kind != "invocation") {
+        let Some(p) = span.parent else {
+            panic!("phase span {}/{} has no parent", span.track, span.name)
+        };
+        let owner = invocations
+            .iter()
+            .find(|inv| inv.id == p)
+            .unwrap_or_else(|| panic!("phase span {}/{} orphaned", span.track, span.name));
+        assert_eq!(owner.track, span.track, "phase span crossed actors");
+        assert!(
+            owner.sim_start_us <= span.sim_start_us && span.sim_end_us <= owner.sim_end_us,
+            "{}/{} leaks outside its invocation",
+            span.track,
+            span.name
+        );
+    }
+}
+
+/// The exclusive phase partition of the trace must account for the
+/// whole makespan: totals sum to the JCT (the acceptance criterion
+/// allows 1 ms; the construction is exact to the microsecond).
+#[test]
+fn phase_breakdown_sums_to_jct() {
+    for spec in [WorkloadSpec::wordcount_gb(1), WorkloadSpec::QueryUservisits] {
+        let job = spec.into_job();
+        let plan = harness::astra().plan(&job, Objective::fastest()).unwrap();
+        let report = simulate(
+            &job,
+            &plan,
+            SimConfig::deterministic(Platform::aws_lambda()).with_noise(0.1, 7),
+        )
+        .unwrap();
+        let total = report.phase_breakdown().total();
+        let diff_us = total.as_micros().abs_diff(report.makespan.as_micros());
+        assert!(
+            diff_us == 0,
+            "{}: phases sum to {total:?}, makespan {:?} (off by {diff_us} µs)",
+            spec.label(),
+            report.makespan
+        );
+    }
+}
+
+/// The Chrome-trace export is loadable JSON with the nesting metadata
+/// a trace viewer needs (and that OBSERVABILITY.md documents).
+#[test]
+fn chrome_trace_export_is_structurally_sound() {
+    let job = WorkloadSpec::wordcount_gb(1).into_job();
+    let plan = harness::astra().plan(&job, Objective::fastest()).unwrap();
+    let (tel, rec) = sinks::chrome_trace();
+    let config = SimConfig::deterministic(Platform::aws_lambda()).with_telemetry(tel);
+    simulate(&job, &plan, config).unwrap();
+
+    let json = rec.to_json().to_string();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    for needle in [
+        "\"traceEvents\"",
+        "\"displayTimeUnit\"",
+        "\"invocation\"",
+        "\"cold_start\"",
+        "\"compute\"",
+        "\"otherData\"",
+        "engine.events",
+    ] {
+        assert!(json.contains(needle), "trace JSON missing {needle}");
+    }
+    // A mapper's phase spans reference their invocation span id in args.
+    let spans = rec.inner().spans();
+    let mapper_inv = spans
+        .iter()
+        .find(|s| s.kind == "invocation" && s.track.starts_with("mapper-"))
+        .expect("a mapper invocation span");
+    assert!(
+        json.contains(&format!("\"parent\": {}", mapper_inv.id))
+            || json.contains(&format!("\"parent\":{}", mapper_inv.id)),
+        "no child references mapper invocation {}",
+        mapper_inv.id
+    );
+}
