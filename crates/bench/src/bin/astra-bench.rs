@@ -2,9 +2,12 @@
 //!
 //! Unlike the Criterion benches (exploratory, human-read), this runner
 //! executes a pinned set of planner benchmarks — DAG construction
-//! (serial and parallel), the ExactCsp solve, and the exhaustive sweep
-//! (serial and parallel) — at fixed sizes including the paper-scale
-//! N=202 / L=46 case, and emits a machine-readable `BENCH_planner.json`.
+//! (serial and parallel, plus the dominance-pruned build), the ExactCsp
+//! solve (plain and potential-guided), the 16-bound session sweep
+//! (cold rebuilds vs one reused `PlannerSession`), and the exhaustive
+//! sweep (serial and parallel) — at fixed sizes including the
+//! paper-scale N=202 / L=46 case, and emits a machine-readable
+//! `BENCH_planner.json`.
 //!
 //! ```text
 //! astra-bench [--out FILE]          write results (default BENCH_planner.json)
@@ -14,19 +17,34 @@
 //!             [--sizes tiny|full]   tiny = N=10 only (CI); full = 10/50/202
 //!             [--samples N]         timed samples per bench (default 5)
 //!             [--threads N]         pin the planner thread count
+//!             [--no-prune]          run the pruning-aware entries unpruned
 //! ```
 //!
 //! Regression checks compare `min_ms` (the most noise-robust statistic a
-//! small sample offers) for every bench name present in both files.
+//! small sample offers) for every bench name present in both files. The
+//! historical entries (`dag_build_*`, `solve_exact_csp`) deliberately
+//! keep measuring the *unpruned* DAG and the plain label search, so
+//! their numbers stay comparable across baselines; the dominance-pruned
+//! planner core is tracked by `dag_build_pruned`, `solve_csp_potentials`
+//! and the `session_sweep_*` pair.
 
 use astra_bench::runner::{run_cli, time_ms, BenchArgs};
 use astra_bench::{binding_budget, full_space, planner, synthetic_job};
 use astra_core::solver::{solve_exhaustive, solve_exhaustive_serial, solve_on_dag};
-use astra_core::{ConfigSpace, PlannerDag, Strategy};
+use astra_core::{ConfigSpace, Objective, PlannerDag, PlannerPotentials, PruneConfig, Strategy};
 use serde_json::{json, Value};
+
+/// Bounds answered by every session-sweep cycle (the acceptance target
+/// compares one reused session against this many cold build+solve runs).
+const SWEEP_BOUNDS: usize = 16;
 
 fn run_suite(args: &BenchArgs) -> Value {
     let astra = planner(Strategy::ExactCsp);
+    let prune = if args.no_prune {
+        PruneConfig::off()
+    } else {
+        PruneConfig::on()
+    };
     let mut results: Vec<Value> = Vec::new();
     let mut speedups: Vec<Value> = Vec::new();
 
@@ -46,8 +64,17 @@ fn run_suite(args: &BenchArgs) -> Value {
         let space = full_space(&astra, &job);
         let tiers = space.memory_tiers_mb.len();
 
+        // Historical entries: the full (unpruned) Fig. 5 DAG and the
+        // plain lexicographic label search, exactly as every committed
+        // baseline measured them.
         let (serial_mean, serial_min) = time_ms(args.samples, || {
-            PlannerDag::build_serial(&job, astra.platform(), astra.catalog(), &space)
+            PlannerDag::build_serial_with(
+                &job,
+                astra.platform(),
+                astra.catalog(),
+                &space,
+                PruneConfig::off(),
+            )
         });
         push(
             &mut results,
@@ -58,7 +85,15 @@ fn run_suite(args: &BenchArgs) -> Value {
             serial_min,
         );
 
-        let (par_mean, par_min) = time_ms(args.samples, || astra.build_dag(&job, &space));
+        let (par_mean, par_min) = time_ms(args.samples, || {
+            PlannerDag::build_with(
+                &job,
+                astra.platform(),
+                astra.catalog(),
+                &space,
+                PruneConfig::off(),
+            )
+        });
         push(
             &mut results,
             format!("dag_build_parallel/N{n}"),
@@ -74,10 +109,30 @@ fn run_suite(args: &BenchArgs) -> Value {
             "speedup": serial_min / par_min,
         }));
 
-        let dag = astra.build_dag(&job, &space);
+        // The dominance-pruned parallel build (what planning actually
+        // runs now): pays the Pareto filters, produces a smaller DAG.
+        let (pb_mean, pb_min) = time_ms(args.samples, || {
+            PlannerDag::build_with(&job, astra.platform(), astra.catalog(), &space, prune)
+        });
+        push(
+            &mut results,
+            format!("dag_build_pruned/N{n}"),
+            n,
+            tiers,
+            pb_mean,
+            pb_min,
+        );
+
+        let full_dag = PlannerDag::build_with(
+            &job,
+            astra.platform(),
+            astra.catalog(),
+            &space,
+            PruneConfig::off(),
+        );
         let objective = binding_budget(&astra, &job);
         let (csp_mean, csp_min) = time_ms(args.samples, || {
-            solve_on_dag(&dag, objective, Strategy::ExactCsp)
+            solve_on_dag(&full_dag, objective, Strategy::ExactCsp)
         });
         push(
             &mut results,
@@ -87,6 +142,92 @@ fn run_suite(args: &BenchArgs) -> Value {
             csp_mean,
             csp_min,
         );
+
+        // The potential-guided search on the (default: pruned) DAG —
+        // the successor entry the ≥2× acceptance criterion tracks.
+        let pruned_dag =
+            PlannerDag::build_with(&job, astra.platform(), astra.catalog(), &space, prune);
+        let potentials = PlannerPotentials::compute(&pruned_dag);
+        let tel = astra_telemetry::Telemetry::disabled();
+        let (pot_mean, pot_min) = time_ms(args.samples, || {
+            astra_core::solve_on_dag_with_potentials(
+                &pruned_dag,
+                &potentials,
+                objective,
+                Strategy::ExactCsp,
+                &tel,
+            )
+        });
+        push(
+            &mut results,
+            format!("solve_csp_potentials/N{n}"),
+            n,
+            tiers,
+            pot_mean,
+            pot_min,
+        );
+        speedups.push(json!({
+            "name": format!("csp_potentials/N{n}"),
+            "serial_ms": csp_min,
+            "parallel_ms": pot_min,
+            "speedup": csp_min / pot_min,
+        }));
+
+        // Constraint sweep: answer SWEEP_BOUNDS budgets, once with a
+        // cold build+solve per budget (the pre-session workflow) and
+        // once through a single reused PlannerSession. Cold cycles at
+        // paper scale run multi-second, so they get fewer samples.
+        let budgets: Vec<Objective> = {
+            let cheapest = astra.plan(&job, Objective::cheapest()).unwrap();
+            let fastest = astra.plan(&job, Objective::fastest()).unwrap();
+            let lo = cheapest.predicted_cost().nanos();
+            let hi = fastest.predicted_cost().nanos();
+            (0..SWEEP_BOUNDS)
+                .map(|i| Objective::MinimizeTime {
+                    budget: astra_pricing::Money::from_nanos(
+                        lo + (hi - lo) * i as i128 / (SWEEP_BOUNDS - 1) as i128,
+                    ),
+                })
+                .collect()
+        };
+        let cold_samples = if n >= 100 { args.samples.min(2) } else { args.samples };
+        let cold_astra = astra.clone().with_prune_config(prune);
+        let (cold_mean, cold_min) = time_ms(cold_samples, || {
+            budgets
+                .iter()
+                .filter(|&&o| cold_astra.plan(&job, o).is_ok())
+                .count()
+        });
+        push(
+            &mut results,
+            format!("session_sweep_cold/N{n}"),
+            n,
+            tiers,
+            cold_mean,
+            cold_min,
+        );
+        let session_astra = astra.clone().with_prune_config(prune);
+        let (warm_mean, warm_min) = time_ms(args.samples, || {
+            let session = session_astra.session(&job);
+            budgets
+                .iter()
+                .filter(|&&o| session.plan(o).is_ok())
+                .count()
+        });
+        push(
+            &mut results,
+            format!("session_sweep_reused/N{n}"),
+            n,
+            tiers,
+            warm_mean,
+            warm_min,
+        );
+        speedups.push(json!({
+            "name": format!("session_sweep/N{n}"),
+            "serial_ms": cold_min,
+            "parallel_ms": warm_min,
+            "speedup": cold_min / warm_min,
+        }));
     }
 
     // Exhaustive sweep on a reduced tier set (the full 46-tier cube is
@@ -133,6 +274,7 @@ fn run_suite(args: &BenchArgs) -> Value {
         "cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         "threads": rayon::current_num_threads(),
         "samples": args.samples,
+        "no_prune": args.no_prune,
         "results": results,
         "speedups": speedups,
     })

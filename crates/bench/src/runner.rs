@@ -21,6 +21,9 @@ pub struct BenchArgs {
     pub samples: usize,
     /// Explicit rayon thread count, if pinned.
     pub threads: Option<usize>,
+    /// Disable DAG dominance pruning in the suites that support it
+    /// (`--no-prune`): every entry then measures the full Fig. 5 DAG.
+    pub no_prune: bool,
 }
 
 impl BenchArgs {
@@ -36,6 +39,7 @@ impl BenchArgs {
             sizes: full.to_vec(),
             samples: 5,
             threads: None,
+            no_prune: false,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -44,6 +48,12 @@ impl BenchArgs {
             let value = |i: usize| -> Result<&String, String> {
                 argv.get(i + 1).ok_or(format!("flag '{flag}' needs a value"))
             };
+            // Valueless flags advance by one, flag+value pairs by two.
+            if flag == "--no-prune" {
+                args.no_prune = true;
+                i += 1;
+                continue;
+            }
             match flag {
                 "--out" => args.out = value(i)?.clone(),
                 "--check" => args.check = Some(value(i)?.clone()),

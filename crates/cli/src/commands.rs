@@ -219,8 +219,11 @@ pub fn timeline(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
 pub fn frontier(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
     let workload = opts.workload;
     let job = workload.into_job();
-    let astra = Astra::with_defaults();
-    match astra.pareto_frontier(&job, 12) {
+    // One planner session backs the whole frontier walk: the DAG and its
+    // backward potentials are built once, then every budget point is a
+    // pure constrained solve.
+    let session = Astra::with_defaults().session(&job);
+    match session.pareto_frontier(12) {
         Ok(frontier) => {
             writeln!(out, "Cost-performance frontier for {}:\n", workload.label())?;
             writeln!(out, "{:>14} {:>10}  configuration", "spend", "JCT")?;

@@ -1,16 +1,19 @@
 //! The user-facing planner: job in, optimal execution plan out.
 
-use astra_model::{Infeasibility, JobConfig, JobSpec, Platform};
+use astra_model::{Infeasibility, JobSpec, Platform};
 use astra_pricing::PriceCatalog;
-use rayon::prelude::*;
 
 use astra_telemetry::Telemetry;
 
 use crate::cache::ModelCache;
-use crate::dag::PlannerDag;
+use crate::dag::{PlannerDag, PruneConfig};
 use crate::objective::Objective;
 use crate::plan::Plan;
-use crate::solver::{solve_exhaustive_with_telemetry, solve_on_dag, Strategy};
+use crate::session::{effective_prune, PlannerSession};
+use crate::solver::{
+    solve_exhaustive_with_telemetry, solve_on_dag, solve_on_dag_with_potentials,
+    PlannerPotentials, Strategy,
+};
 use crate::space::ConfigSpace;
 
 /// Why planning failed.
@@ -58,6 +61,7 @@ pub struct Astra {
     platform: Platform,
     catalog: PriceCatalog,
     strategy: Strategy,
+    prune: PruneConfig,
     telemetry: Telemetry,
 }
 
@@ -73,6 +77,7 @@ impl Astra {
             platform: Platform::aws_lambda(),
             catalog: PriceCatalog::aws_2020(),
             strategy: Strategy::default(),
+            prune: PruneConfig::default(),
             telemetry: astra_telemetry::global(),
         }
     }
@@ -84,6 +89,7 @@ impl Astra {
             platform,
             catalog,
             strategy,
+            prune: PruneConfig::default(),
             telemetry: astra_telemetry::global(),
         }
     }
@@ -106,6 +112,21 @@ impl Astra {
     /// Replace the solver strategy.
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// The dominance-pruning configuration in effect (pruning is on by
+    /// default; [`Strategy::Algorithm1`] always runs unpruned for
+    /// heuristic fidelity regardless of this setting).
+    pub fn prune_config(&self) -> PruneConfig {
+        self.prune
+    }
+
+    /// Replace the dominance-pruning configuration (e.g.
+    /// [`PruneConfig::off`] for equivalence baselines and `--no-prune`
+    /// runs).
+    pub fn with_prune_config(mut self, prune: PruneConfig) -> Self {
+        self.prune = prune;
         self
     }
 
@@ -149,12 +170,30 @@ impl Astra {
                 let dag = {
                     let mut span = self.telemetry.wall_span("planner", "build_dag", "planner");
                     span.set_parent(plan_span.id());
-                    PlannerDag::build_with_cache(&self.catalog, space, &cache)
+                    PlannerDag::build_with_cache(
+                        &self.catalog,
+                        space,
+                        &cache,
+                        effective_prune(self.prune, self.strategy),
+                    )
                 };
                 let solved = {
                     let mut span = self.telemetry.wall_span("planner", "solve", "planner");
                     span.set_parent(plan_span.id());
-                    solve_on_dag(&dag, objective, self.strategy)
+                    if self.strategy == Strategy::ExactCsp {
+                        // One extra reverse-topological sweep buys the
+                        // A*-guided, bound-pruned label search.
+                        let potentials = PlannerPotentials::compute(&dag);
+                        solve_on_dag_with_potentials(
+                            &dag,
+                            &potentials,
+                            objective,
+                            self.strategy,
+                            &self.telemetry,
+                        )
+                    } else {
+                        solve_on_dag(&dag, objective, self.strategy)
+                    }
                 };
                 if self.telemetry.enabled() {
                     let stats = cache.stats();
@@ -177,7 +216,35 @@ impl Astra {
     /// Build (and return) the planner DAG for `job` — exposed for
     /// inspection, DOT export and the scaling benches.
     pub fn build_dag(&self, job: &JobSpec, space: &ConfigSpace) -> PlannerDag {
-        PlannerDag::build(job, &self.platform, &self.catalog, space)
+        PlannerDag::build_with(
+            job,
+            &self.platform,
+            &self.catalog,
+            space,
+            effective_prune(self.prune, self.strategy),
+        )
+    }
+
+    /// Open a reusable [`PlannerSession`] for `job` over its full
+    /// configuration space: the DAG and backward potentials are built
+    /// once, then every [`PlannerSession::plan`] /
+    /// [`PlannerSession::solve`] call reuses them.
+    pub fn session(&self, job: &JobSpec) -> PlannerSession {
+        let space = ConfigSpace::full(job, &self.platform);
+        self.session_with_space(job, &space)
+    }
+
+    /// [`Astra::session`] over a restricted configuration space.
+    pub fn session_with_space(&self, job: &JobSpec, space: &ConfigSpace) -> PlannerSession {
+        PlannerSession::build(
+            job,
+            self.platform.clone(),
+            self.catalog,
+            space.clone(),
+            self.strategy,
+            self.prune,
+            self.telemetry.clone(),
+        )
     }
 
     /// Walk the cost–performance Pareto frontier: plan under `points`
@@ -191,45 +258,10 @@ impl Astra {
     ///
     /// The per-budget constrained solves run in parallel over the shared
     /// DAG; the dedup pass walks the results in budget order, so the
-    /// frontier is identical for every thread count.
+    /// frontier is identical for every thread count. (This is a one-call
+    /// convenience over [`Astra::session`] + [`PlannerSession::pareto_frontier`].)
     pub fn pareto_frontier(&self, job: &JobSpec, points: usize) -> Result<Vec<Plan>, PlanError> {
-        assert!(points >= 2, "a frontier needs at least its endpoints");
-        let space = ConfigSpace::full(job, &self.platform);
-        let dag = self.build_dag(job, &space);
-        let cheapest = solve_on_dag(&dag, Objective::cheapest(), self.strategy)
-            .ok_or(PlanError::NoFeasiblePlan {
-                objective: Objective::cheapest(),
-            })?;
-        let fastest = solve_on_dag(&dag, Objective::fastest(), self.strategy)
-            .ok_or(PlanError::NoFeasiblePlan {
-                objective: Objective::fastest(),
-            })?;
-        let lo = Plan::evaluate(job, &self.platform, &self.catalog, cheapest.into())
-            .map_err(PlanError::Internal)?;
-        let hi = Plan::evaluate(job, &self.platform, &self.catalog, fastest.into())
-            .map_err(PlanError::Internal)?;
-        let (lo_c, hi_c) = (lo.predicted_cost().nanos(), hi.predicted_cost().nanos());
-
-        let steps: Vec<usize> = (1..points).collect();
-        let configs: Vec<Option<JobConfig>> = steps
-            .into_par_iter()
-            .map(|step| {
-                let budget = astra_pricing::Money::from_nanos(
-                    lo_c + (hi_c - lo_c) * step as i128 / (points - 1) as i128,
-                );
-                solve_on_dag(&dag, Objective::MinimizeTime { budget }, self.strategy)
-            })
-            .collect();
-
-        let mut frontier: Vec<Plan> = vec![lo];
-        for config in configs.into_iter().flatten() {
-            let plan = Plan::evaluate(job, &self.platform, &self.catalog, config.into())
-                .map_err(PlanError::Internal)?;
-            if frontier.last().map(|p| p.spec != plan.spec).unwrap_or(true) {
-                frontier.push(plan);
-            }
-        }
-        Ok(frontier)
+        self.session(job).pareto_frontier(points)
     }
 }
 

@@ -35,6 +35,35 @@
 //! Edges whose configuration violates platform constraints (Eq. 18
 //! concurrency/storage caps, per-function timeout) are simply not added.
 //!
+//! ## Dominance pruning
+//!
+//! By default ([`PruneConfig::on`]) construction drops tier candidates
+//! whose (time, cost) edge bundles are Pareto-dominated in *every*
+//! context they appear in:
+//!
+//! * **mapper tiers** per `k_M` — the source edge is (0, 0) and the
+//!   continuation after the `k_M` node is tier-independent, so if tier
+//!   `b`'s mapper edge is `<=` tier `a`'s on both metrics (one strict),
+//!   every path through `a` is beaten (or exactly matched earlier in
+//!   tie-break order) by the same path through `b`;
+//! * **coordinator tiers** per `(k_M, k_R)` — a path through coordinator
+//!   `a` and reducer tier `s` adds time `t2(a) + phase(s)` and cost
+//!   `e3(a) + e4(s, a)`; `phase(s)` cancels when comparing coordinators,
+//!   so dominance is `t2` on time and the combined `e3 + e4` per reducer
+//!   continuation on cost (with coverage: the dominator must offer every
+//!   continuation the dominated tier offers);
+//! * **reducer tiers** per `(k_M, k_R, coordinator)` — the final column
+//!   edge to the sink is (0, 0), so the final-edge bundle alone decides.
+//!
+//! Dominance is exact (`<=` with at least one strict `<`, integer nanos
+//! for cost); exact ties are always kept. A dominated candidate cannot
+//! lie on a *strictly* optimal constrained path for any bound, and for
+//! tied paths the label-setting solver already settles the dominator
+//! first and kills the dominated arrival via its `<=` frontier check —
+//! so pruned and unpruned DAGs return identical optima (equivalence
+//! tests assert config-level identity against the unpruned exhaustive
+//! solver). [`PlannerDag::prune_stats`] reports how much was removed.
+//!
 //! ## Parallel construction
 //!
 //! Building columns 2–4 dominates planning time: it evaluates the
@@ -120,11 +149,71 @@ fn metrics(time_s: f64, cost: Money) -> EdgeMetrics {
     }
 }
 
+/// Controls exactness-preserving Pareto dominance pruning of tier
+/// columns during DAG construction (see the module-level "Dominance
+/// pruning" section). Defaults to enabled; [`PruneConfig::off`] is the
+/// opt-out used by equivalence tests, benches and `--no-prune` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneConfig {
+    /// Drop tier candidates whose (time, cost) bundle is Pareto-dominated
+    /// in every context they appear in. Dominance is *exact* (`<=` on
+    /// both metrics with at least one strict `<`): an exactly-tied
+    /// candidate is never dropped, so solver tie-breaking is untouched
+    /// and pruned/unpruned DAGs yield identical constrained optima.
+    pub pareto_tiers: bool,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig { pareto_tiers: true }
+    }
+}
+
+impl PruneConfig {
+    /// Pruning enabled (the default).
+    pub fn on() -> Self {
+        PruneConfig::default()
+    }
+
+    /// Pruning disabled: build the full Fig. 5 DAG.
+    pub fn off() -> Self {
+        PruneConfig {
+            pareto_tiers: false,
+        }
+    }
+}
+
+/// How much dominance pruning removed while building a DAG (all zero
+/// when built with [`PruneConfig::off`]). Reported through the
+/// `planner.dag.pruned_*` telemetry gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// `x_i -> k_M` edges dropped (mapper tier dominated for that `k_M`).
+    pub mapper_edges: usize,
+    /// Column-4 coordinator nodes dropped (tier dominated for that
+    /// `(k_M, k_R)` across every reducer continuation, or a dead end
+    /// with no feasible reducer tier). Each takes its `e3` edge and its
+    /// final edges with it.
+    pub coordinator_nodes: usize,
+    /// `+coord -> z_s` final edges dropped (reducer tier dominated for
+    /// that `(k_M, k_R, coordinator)` context).
+    pub reducer_edges: usize,
+}
+
+impl PruneStats {
+    /// Total pruned items (edges + nodes) — a quick "did pruning fire"
+    /// signal for tests and gauges.
+    pub fn total(&self) -> usize {
+        self.mapper_edges + self.coordinator_nodes + self.reducer_edges
+    }
+}
+
 /// The built planner DAG for one job.
 pub struct PlannerDag {
     graph: DiGraph<Choice, EdgeMetrics>,
     source: NodeId,
     sink: NodeId,
+    prune_stats: PruneStats,
 }
 
 /// Column-2 recipe: the mapper edges one `k_M` contributes, as
@@ -134,6 +223,7 @@ struct Col2Recipe {
     k_m: usize,
     j: usize,
     mapper_edges: Vec<(usize, EdgeMetrics)>,
+    pruned_edges: usize,
 }
 
 /// Column-4 recipe for one coordinator tier within a `(k_M, k_R)`: the
@@ -145,12 +235,33 @@ struct Col4Recipe {
 }
 
 /// Column-3 recipe: everything one `(k_M, k_R)` pair contributes below
-/// column 2. `per_coord` holds one entry per coordinator tier, in
-/// `space.memory_tiers_mb` order.
+/// column 2. `per_coord` holds `(coordinator tier index, recipe)` pairs
+/// in `space.memory_tiers_mb` order (gaps where pruning removed a tier).
 struct Col3Recipe {
     k_r: usize,
     e2: EdgeMetrics,
-    per_coord: Vec<Col4Recipe>,
+    per_coord: Vec<(usize, Col4Recipe)>,
+    pruned_coords: usize,
+    pruned_final_edges: usize,
+}
+
+/// Drop entries whose metric bundle is Pareto-dominated by another entry
+/// in the same context: dominator `<=` on both metrics with at least one
+/// strict `<`. Comparisons are exact (no epsilon), and exact ties are
+/// kept, so the surviving set supports the same constrained optima with
+/// the same solver tie-breaks as the full set. Returns how many were
+/// dropped.
+fn pareto_filter(edges: &mut Vec<(usize, EdgeMetrics)>) -> usize {
+    let before = edges.len();
+    let snapshot = edges.clone();
+    edges.retain(|&(_, m)| {
+        !snapshot.iter().any(|&(_, o)| {
+            o.time_s <= m.time_s
+                && o.cost_nanos <= m.cost_nanos
+                && (o.time_s < m.time_s || o.cost_nanos < m.cost_nanos)
+        })
+    });
+    before - edges.len()
 }
 
 /// Compute the column-2 recipe for one `k_M` (pure; safe to run on any
@@ -160,6 +271,7 @@ fn col2_recipe(
     catalog: &PriceCatalog,
     space: &ConfigSpace,
     cache: &ModelCache<'_>,
+    prune: PruneConfig,
     k_m: usize,
 ) -> Option<Col2Recipe> {
     let job = cache.job();
@@ -181,22 +293,33 @@ fn col2_recipe(
     if mapper_edges.is_empty() {
         return None;
     }
+    // Mapper-tier dominance for this k_M: the source edge into every
+    // tier is (0, 0) and the continuation from the k_M node is tier-
+    // independent, so the edge bundle alone decides Pareto dominance.
+    let pruned_edges = if prune.pareto_tiers {
+        pareto_filter(&mut mapper_edges)
+    } else {
+        0
+    };
     Some(Col2Recipe {
         k_m,
         j,
         mapper_edges,
+        pruned_edges,
     })
 }
 
 /// Compute the column-3/4 recipe for one `(k_M, k_R)` pair (pure; safe
 /// to run on any thread). `coord_compute[ai]` is the coordinator
 /// planning time at tier `ai`.
+#[allow(clippy::too_many_arguments)]
 fn col3_recipe(
     platform: &Platform,
     catalog: &PriceCatalog,
     space: &ConfigSpace,
     cache: &ModelCache<'_>,
     coord_compute: &[f64],
+    prune: PruneConfig,
     k_m: usize,
     k_r: usize,
 ) -> Option<Col3Recipe> {
@@ -259,7 +382,7 @@ fn col3_recipe(
         .per_step_spawn_s
         .last()
         .expect("at least one step");
-    let per_coord: Vec<Col4Recipe> = tiers
+    let full: Vec<Col4Recipe> = tiers
         .iter()
         .enumerate()
         .map(|(ai, &a_mem)| {
@@ -290,10 +413,80 @@ fn col3_recipe(
         })
         .collect();
 
+    let (mut pruned_coords, mut pruned_final_edges) = (0usize, 0usize);
+    let mut per_coord: Vec<(usize, Col4Recipe)> = if prune.pareto_tiers {
+        // Coordinator-tier dominance within this (k_M, k_R). A path
+        // through coordinator `a` and reducer tier `s` adds time
+        // `t2(a) + phase(s)` and cost `e3c(a) + e4c(s, a)`; `phase(s)`
+        // is coordinator-independent, so `aj` dominates `ai` iff
+        // `t2(aj) <= t2(ai)` and, for every reducer continuation `ai`
+        // offers, `aj` offers it no more expensively — with at least one
+        // strict improvement (exact ties keep both). Coordinators with
+        // no feasible reducer tier are dead ends and always dropped.
+        let combined: Vec<Vec<Option<i64>>> = full
+            .iter()
+            .map(|c| {
+                let mut by_si: Vec<Option<i64>> = vec![None; tiers.len()];
+                for &(si, m) in &c.final_edges {
+                    by_si[si] = Some(c.e3.cost_nanos + m.cost_nanos);
+                }
+                by_si
+            })
+            .collect();
+        let dominated = |i: usize| -> bool {
+            if full[i].final_edges.is_empty() {
+                return true; // dead end: on no source→sink path
+            }
+            (0..full.len()).any(|j| {
+                if j == i {
+                    return false;
+                }
+                let (ti, tj) = (full[i].e3.time_s, full[j].e3.time_s);
+                if tj > ti {
+                    return false;
+                }
+                let mut strict = tj < ti;
+                for (ci_slot, cj_slot) in combined[i].iter().zip(&combined[j]) {
+                    match (*ci_slot, *cj_slot) {
+                        (Some(ci), Some(cj)) => {
+                            if cj > ci {
+                                return false;
+                            }
+                            if cj < ci {
+                                strict = true;
+                            }
+                        }
+                        (Some(_), None) => return false, // j misses a continuation
+                        (None, _) => {}
+                    }
+                }
+                strict
+            })
+        };
+        let keep: Vec<bool> = (0..full.len()).map(|i| !dominated(i)).collect();
+        pruned_coords = keep.iter().filter(|&&k| !k).count();
+        full.into_iter()
+            .enumerate()
+            .filter(|(ai, _)| keep[*ai])
+            .collect()
+    } else {
+        full.into_iter().enumerate().collect()
+    };
+    if prune.pareto_tiers {
+        // Reducer-tier dominance within each surviving coordinator: the
+        // z_s -> sink edge is (0, 0), so the final-edge bundle alone
+        // decides dominance.
+        for (_, coord) in &mut per_coord {
+            pruned_final_edges += pareto_filter(&mut coord.final_edges);
+        }
+    }
+
     Some(Col3Recipe {
         k_r,
         e2: metrics(0.0, e2_cost),
         per_coord,
+        pruned_coords,
+        pruned_final_edges,
     })
 }
 
@@ -310,17 +503,30 @@ impl PlannerDag {
         catalog: &PriceCatalog,
         space: &ConfigSpace,
     ) -> PlannerDag {
-        let cache = ModelCache::new(job, platform);
-        Self::build_with_cache(catalog, space, &cache)
+        Self::build_with(job, platform, catalog, space, PruneConfig::default())
     }
 
-    /// [`PlannerDag::build`] reusing an existing model cache, so DAG
+    /// [`PlannerDag::build`] with explicit [`PruneConfig`] (the default
+    /// build prunes; pass [`PruneConfig::off`] for the full Fig. 5 DAG).
+    pub fn build_with(
+        job: &JobSpec,
+        platform: &Platform,
+        catalog: &PriceCatalog,
+        space: &ConfigSpace,
+        prune: PruneConfig,
+    ) -> PlannerDag {
+        let cache = ModelCache::new(job, platform);
+        Self::build_with_cache(catalog, space, &cache, prune)
+    }
+
+    /// [`PlannerDag::build_with`] reusing an existing model cache, so DAG
     /// construction and later sweeps (exhaustive validation, frontier
     /// walks) share memoized sub-terms.
     pub fn build_with_cache(
         catalog: &PriceCatalog,
         space: &ConfigSpace,
         cache: &ModelCache<'_>,
+        prune: PruneConfig,
     ) -> PlannerDag {
         // Wall-clock spans per construction pass follow the process-global
         // telemetry handle (installed by the CLI / experiment binaries);
@@ -338,7 +544,7 @@ impl PlannerDag {
             space
                 .k_m_values
                 .par_iter()
-                .filter_map(|&k_m| col2_recipe(platform, catalog, space, cache, k_m))
+                .filter_map(|&k_m| col2_recipe(platform, catalog, space, cache, prune, k_m))
                 .collect()
         };
 
@@ -360,7 +566,7 @@ impl PlannerDag {
                 .collect();
             work.par_iter()
                 .map(|&(ci, k_m, k_r)| {
-                    col3_recipe(platform, catalog, space, cache, &coord_compute, k_m, k_r)
+                    col3_recipe(platform, catalog, space, cache, &coord_compute, prune, k_m, k_r)
                         .map(|r| (ci, r))
                 })
                 .collect()
@@ -374,6 +580,13 @@ impl PlannerDag {
         if tel.enabled() {
             tel.gauge("planner.dag.nodes", dag.graph().node_count() as f64);
             tel.gauge("planner.dag.edges", dag.graph().edge_count() as f64);
+            let stats = dag.prune_stats();
+            tel.gauge("planner.dag.pruned_mapper_edges", stats.mapper_edges as f64);
+            tel.gauge(
+                "planner.dag.pruned_coordinator_nodes",
+                stats.coordinator_nodes as f64,
+            );
+            tel.gauge("planner.dag.pruned_reducer_edges", stats.reducer_edges as f64);
         }
         dag
     }
@@ -388,6 +601,17 @@ impl PlannerDag {
         catalog: &PriceCatalog,
         space: &ConfigSpace,
     ) -> PlannerDag {
+        Self::build_serial_with(job, platform, catalog, space, PruneConfig::default())
+    }
+
+    /// [`PlannerDag::build_serial`] with explicit [`PruneConfig`].
+    pub fn build_serial_with(
+        job: &JobSpec,
+        platform: &Platform,
+        catalog: &PriceCatalog,
+        space: &ConfigSpace,
+        prune: PruneConfig,
+    ) -> PlannerDag {
         job.profile.validate();
         let cache = ModelCache::new(job, platform);
         let coord_compute = coord_compute_per_tier(job, platform, space);
@@ -395,7 +619,7 @@ impl PlannerDag {
         let col2: Vec<Col2Recipe> = space
             .k_m_values
             .iter()
-            .filter_map(|&k_m| col2_recipe(platform, catalog, space, &cache, k_m))
+            .filter_map(|&k_m| col2_recipe(platform, catalog, space, &cache, prune, k_m))
             .collect();
         let col3_flat: Vec<Option<(usize, Col3Recipe)>> = col2
             .iter()
@@ -409,8 +633,17 @@ impl PlannerDag {
             .collect::<Vec<_>>()
             .into_iter()
             .map(|(ci, k_m, k_r)| {
-                col3_recipe(platform, catalog, space, &cache, &coord_compute, k_m, k_r)
-                    .map(|r| (ci, r))
+                col3_recipe(
+                    platform,
+                    catalog,
+                    space,
+                    &cache,
+                    &coord_compute,
+                    prune,
+                    k_m,
+                    k_r,
+                )
+                .map(|r| (ci, r))
             })
             .collect();
 
@@ -430,6 +663,12 @@ impl PlannerDag {
     /// Sink node.
     pub fn sink(&self) -> NodeId {
         self.sink
+    }
+
+    /// How much dominance pruning removed during construction (all zero
+    /// for [`PruneConfig::off`] builds).
+    pub fn prune_stats(&self) -> PruneStats {
+        self.prune_stats
     }
 
     /// Recover the configuration a source→sink path encodes.
@@ -522,9 +761,11 @@ fn assemble(
         })
         .collect();
 
+    let mut prune_stats = PruneStats::default();
     let col2_nodes: Vec<NodeId> = col2
         .iter()
         .map(|r| {
+            prune_stats.mapper_edges += r.pruned_edges;
             let node = g.add_node(Choice::ObjectsPerMapper(r.k_m));
             for &(ti, m) in &r.mapper_edges {
                 g.add_edge(col1[ti], node, m);
@@ -534,11 +775,18 @@ fn assemble(
         .collect();
 
     for (ci, recipe) in col3_flat.into_iter().flatten() {
+        prune_stats.coordinator_nodes += recipe.pruned_coords;
+        prune_stats.reducer_edges += recipe.pruned_final_edges;
+        if recipe.per_coord.is_empty() {
+            // Every coordinator tier was a dead end: the (k_M, k_R) node
+            // would have no continuation, so skip it entirely.
+            continue;
+        }
         let k_m = col2[ci].k_m;
         let k_r = recipe.k_r;
         let col3_node = g.add_node(Choice::ObjectsPerReducer { k_m, k_r });
         g.add_edge(col2_nodes[ci], col3_node, recipe.e2);
-        for (ai, coord) in recipe.per_coord.into_iter().enumerate() {
+        for (ai, coord) in recipe.per_coord {
             let col4_node = g.add_node(Choice::CoordinatorMem {
                 k_m,
                 k_r,
@@ -555,6 +803,7 @@ fn assemble(
         graph: g,
         source,
         sink,
+        prune_stats,
     }
 }
 
@@ -685,6 +934,53 @@ mod tests {
                 assert!(*k_m >= 3, "k_M={k_m} should have been pruned");
             }
         }
+    }
+
+    #[test]
+    fn pruning_shrinks_the_dag_and_reports_stats() {
+        let j = job(8);
+        let platform = Platform::aws_lambda();
+        let catalog = PriceCatalog::aws_2020();
+        let space = ConfigSpace::with_tiers(&j, &platform, &[128, 256, 512, 1024, 1792, 3008]);
+        let pruned = PlannerDag::build_with(&j, &platform, &catalog, &space, PruneConfig::on());
+        let full = PlannerDag::build_with(&j, &platform, &catalog, &space, PruneConfig::off());
+        assert_eq!(full.prune_stats(), PruneStats::default());
+        assert!(
+            pruned.prune_stats().total() > 0,
+            "expected dominated tiers across a 6-tier space"
+        );
+        assert!(pruned.graph().edge_count() < full.graph().edge_count());
+        assert!(pruned.graph().node_count() <= full.graph().node_count());
+        // Both orientations still find their unconstrained optimum, and it
+        // matches the full DAG's bit for bit.
+        for metric in [
+            (|m: &EdgeMetrics| m.time_s) as fn(&EdgeMetrics) -> f64,
+            (|m: &EdgeMetrics| m.cost_nanos as f64) as fn(&EdgeMetrics) -> f64,
+        ] {
+            let p = shortest_path_all(pruned.graph(), pruned.source(), pruned.sink(), |_, m| {
+                metric(m)
+            })
+            .unwrap();
+            let q =
+                shortest_path_all(full.graph(), full.source(), full.sink(), |_, m| metric(m))
+                    .unwrap();
+            assert_eq!(pruned.config_for_path(&p.edges), full.config_for_path(&q.edges));
+        }
+    }
+
+    #[test]
+    fn prune_off_matches_the_historical_full_dag_shape() {
+        // PruneConfig::off must reproduce the pre-pruning construction
+        // exactly: every coordinator tier gets a column-4 node even when
+        // it is a dead end with no feasible reducer continuation.
+        let j = job(5);
+        let platform = Platform::paper_literal(10.0);
+        let catalog = PriceCatalog::aws_2020();
+        let space = ConfigSpace::with_tiers(&j, &platform, &[128, 1024]);
+        let a = PlannerDag::build_with(&j, &platform, &catalog, &space, PruneConfig::off());
+        let b = PlannerDag::build_serial_with(&j, &platform, &catalog, &space, PruneConfig::off());
+        assert_eq!(a.graph().node_count(), b.graph().node_count());
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
     }
 
     #[test]

@@ -34,13 +34,15 @@ pub mod cache;
 pub mod dag;
 pub mod objective;
 pub mod plan;
+pub mod session;
 pub mod solver;
 pub mod space;
 
 pub use astra::{Astra, PlanError};
 pub use cache::{CacheStats, ModelCache};
-pub use dag::{Choice, EdgeMetrics, PlannerDag};
+pub use dag::{Choice, EdgeMetrics, PlannerDag, PruneConfig, PruneStats};
 pub use objective::Objective;
 pub use plan::{Plan, PlanSpec, ReduceSpec};
-pub use solver::Strategy;
+pub use session::PlannerSession;
+pub use solver::{solve_on_dag_with_potentials, PlannerPotentials, Strategy};
 pub use space::ConfigSpace;

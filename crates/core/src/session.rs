@@ -1,0 +1,307 @@
+//! Reusable planning sessions: build the Fig. 5 DAG and its backward
+//! potentials **once** per `(job, space, platform, prices)` tuple, then
+//! answer any number of budget/deadline queries against them.
+//!
+//! Every sweep in the repo — the Pareto frontier, Algorithm 1's probes,
+//! the `exp_fig*` tightness scans, the CLI `frontier` command — asks many
+//! constrained questions about one fixed job. Rebuilding the DAG per
+//! query made construction the dominant cost (`dag_build_serial/N202`
+//! ≈ 2× `solve_exact_csp/N50` in `BENCH_planner.json`); a
+//! [`PlannerSession`] pays it once and amortizes the backward-potential
+//! sweep with it, so repeated queries run at label-search speed alone
+//! (the `session_sweep_*` bench entries track the resulting speedup).
+
+use astra_model::{JobConfig, JobSpec, Platform};
+use astra_pricing::PriceCatalog;
+use astra_telemetry::Telemetry;
+use rayon::prelude::*;
+
+use crate::astra::PlanError;
+use crate::cache::ModelCache;
+use crate::dag::{PlannerDag, PruneConfig};
+use crate::objective::Objective;
+use crate::plan::Plan;
+use crate::solver::{
+    solve_exhaustive_with_telemetry, solve_on_dag_with_potentials, PlannerPotentials, Strategy,
+};
+use crate::space::ConfigSpace;
+
+/// The [`PruneConfig`] actually applied for a strategy: Algorithm 1 runs
+/// on the full Fig. 5 DAG regardless of the requested config, because
+/// the paper's heuristic walks an edge-removal sequence whose steps (and
+/// therefore whose returned plan) depend on which dominated edges exist.
+/// The exact strategies are prune-invariant (see `dag` module docs).
+pub(crate) fn effective_prune(prune: PruneConfig, strategy: Strategy) -> PruneConfig {
+    if strategy == Strategy::Algorithm1 {
+        PruneConfig::off()
+    } else {
+        prune
+    }
+}
+
+/// A reusable planning session for one job (see module docs).
+///
+/// Construct via [`crate::Astra::session`] /
+/// [`crate::Astra::session_with_space`], or directly with
+/// [`PlannerSession::new`]. The session owns its inputs, so it can
+/// outlive the planner that created it.
+///
+/// ```
+/// use astra_core::{Astra, Objective};
+/// use astra_model::{JobSpec, WorkloadProfile};
+///
+/// let job = JobSpec::uniform("demo", 10, 2.0, WorkloadProfile::uniform_test());
+/// let session = Astra::with_defaults().session(&job);
+/// let fast = session.plan(Objective::fastest()).unwrap();
+/// let cheap = session.plan(Objective::cheapest()).unwrap();
+/// assert!(fast.predicted_jct_s() <= cheap.predicted_jct_s() + 1e-9);
+/// ```
+pub struct PlannerSession {
+    job: JobSpec,
+    platform: Platform,
+    catalog: PriceCatalog,
+    space: ConfigSpace,
+    strategy: Strategy,
+    telemetry: Telemetry,
+    dag: PlannerDag,
+    potentials: PlannerPotentials,
+}
+
+impl PlannerSession {
+    /// Build a session: one DAG construction (pruned per the
+    /// strategy's `effective_prune`) plus one backward-potential sweep.
+    pub fn new(
+        job: &JobSpec,
+        platform: Platform,
+        catalog: PriceCatalog,
+        space: ConfigSpace,
+        strategy: Strategy,
+        prune: PruneConfig,
+    ) -> PlannerSession {
+        Self::build(
+            job,
+            platform,
+            catalog,
+            space,
+            strategy,
+            prune,
+            astra_telemetry::global(),
+        )
+    }
+
+    pub(crate) fn build(
+        job: &JobSpec,
+        platform: Platform,
+        catalog: PriceCatalog,
+        space: ConfigSpace,
+        strategy: Strategy,
+        prune: PruneConfig,
+        telemetry: Telemetry,
+    ) -> PlannerSession {
+        let span = telemetry.wall_span("planner", "session.build", "planner");
+        let dag = {
+            let mut s = telemetry.wall_span("planner", "build_dag", "planner");
+            s.set_parent(span.id());
+            let cache = ModelCache::new(job, &platform);
+            PlannerDag::build_with_cache(&catalog, &space, &cache, effective_prune(prune, strategy))
+        };
+        let potentials = {
+            let mut s = telemetry.wall_span("planner", "potentials", "planner");
+            s.set_parent(span.id());
+            PlannerPotentials::compute(&dag)
+        };
+        PlannerSession {
+            job: job.clone(),
+            platform,
+            catalog,
+            space,
+            strategy,
+            telemetry,
+            dag,
+            potentials,
+        }
+    }
+
+    /// Answer one constrained query. Exact strategies reuse the DAG and
+    /// potentials; [`Strategy::Exhaustive`] sweeps the space through a
+    /// fresh model cache (it never touches the DAG).
+    pub fn solve(&self, objective: Objective) -> Option<JobConfig> {
+        match self.strategy {
+            Strategy::Exhaustive => solve_exhaustive_with_telemetry(
+                &self.job,
+                &self.platform,
+                &self.catalog,
+                &self.space,
+                objective,
+                &self.telemetry,
+            ),
+            _ => {
+                let _span = self.telemetry.wall_span("planner", "session.solve", "planner");
+                solve_on_dag_with_potentials(
+                    &self.dag,
+                    &self.potentials,
+                    objective,
+                    self.strategy,
+                    &self.telemetry,
+                )
+            }
+        }
+    }
+
+    /// [`PlannerSession::solve`] plus full plan evaluation.
+    pub fn plan(&self, objective: Objective) -> Result<Plan, PlanError> {
+        let config = self
+            .solve(objective)
+            .ok_or(PlanError::NoFeasiblePlan { objective })?;
+        Plan::evaluate(&self.job, &self.platform, &self.catalog, config.into())
+            .map_err(PlanError::Internal)
+    }
+
+    /// Walk the cost–performance Pareto frontier over this session's
+    /// space: `points` evenly spaced budgets between the cheapest and
+    /// fastest plans' costs, deduplicated in increasing-budget order
+    /// (identical semantics to the old `Astra::pareto_frontier`, minus
+    /// the per-point DAG rebuilds).
+    pub fn pareto_frontier(&self, points: usize) -> Result<Vec<Plan>, PlanError> {
+        assert!(points >= 2, "a frontier needs at least its endpoints");
+        let lo = self.plan(Objective::cheapest())?;
+        let hi = self.plan(Objective::fastest())?;
+        let (lo_c, hi_c) = (lo.predicted_cost().nanos(), hi.predicted_cost().nanos());
+
+        let steps: Vec<usize> = (1..points).collect();
+        let configs: Vec<Option<JobConfig>> = steps
+            .into_par_iter()
+            .map(|step| {
+                let budget = astra_pricing::Money::from_nanos(
+                    lo_c + (hi_c - lo_c) * step as i128 / (points - 1) as i128,
+                );
+                self.solve(Objective::MinimizeTime { budget })
+            })
+            .collect();
+
+        let mut frontier: Vec<Plan> = vec![lo];
+        for config in configs.into_iter().flatten() {
+            let plan = Plan::evaluate(&self.job, &self.platform, &self.catalog, config.into())
+                .map_err(PlanError::Internal)?;
+            if frontier.last().map(|p| p.spec != plan.spec).unwrap_or(true) {
+                frontier.push(plan);
+            }
+        }
+        Ok(frontier)
+    }
+
+    /// The job this session plans.
+    pub fn job(&self) -> &JobSpec {
+        &self.job
+    }
+
+    /// The configuration space in effect.
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// The solver strategy in effect.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The session's DAG (built once at construction).
+    pub fn dag(&self) -> &PlannerDag {
+        &self.dag
+    }
+
+    /// The session's backward potentials (computed once at construction).
+    pub fn potentials(&self) -> &PlannerPotentials {
+        &self.potentials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astra::Astra;
+    use astra_model::WorkloadProfile;
+    use astra_pricing::Money;
+
+    fn job() -> JobSpec {
+        JobSpec::uniform("s", 10, 1.0, WorkloadProfile::uniform_test())
+    }
+
+    #[test]
+    fn session_answers_match_cold_plans() {
+        let job = job();
+        let astra = Astra::with_defaults();
+        let space = ConfigSpace::with_tiers(&job, astra.platform(), &[128, 512, 1792, 3008]);
+        let session = astra.session_with_space(&job, &space);
+        let cheapest = session.plan(Objective::cheapest()).unwrap();
+        let fastest = session.plan(Objective::fastest()).unwrap();
+        let (lo, hi) = (
+            cheapest.predicted_cost().nanos(),
+            fastest.predicted_cost().nanos(),
+        );
+        for step in 0..8 {
+            let budget = Money::from_nanos(lo + (hi - lo) * step / 7);
+            let objective = Objective::MinimizeTime { budget };
+            let warm = session.plan(objective).unwrap();
+            let cold = astra.plan_with_space(&job, objective, &space).unwrap();
+            assert_eq!(warm.spec, cold.spec, "budget step {step}");
+        }
+    }
+
+    #[test]
+    fn session_frontier_matches_astra_frontier() {
+        let job = job();
+        let astra = Astra::with_defaults();
+        let old = astra.pareto_frontier(&job, 8).unwrap();
+        let new = astra.session(&job).pareto_frontier(8).unwrap();
+        assert_eq!(old.len(), new.len());
+        for (a, b) in old.iter().zip(&new) {
+            assert_eq!(a.spec, b.spec);
+        }
+    }
+
+    #[test]
+    fn exhaustive_sessions_sweep_the_space() {
+        let job = job();
+        let platform = Platform::paper_literal(10.0);
+        let space = ConfigSpace::with_tiers(&job, &platform, &[128, 1024]);
+        let exact = PlannerSession::new(
+            &job,
+            platform.clone(),
+            PriceCatalog::aws_2020(),
+            space.clone(),
+            Strategy::ExactCsp,
+            PruneConfig::on(),
+        );
+        let brute = PlannerSession::new(
+            &job,
+            platform,
+            PriceCatalog::aws_2020(),
+            space,
+            Strategy::Exhaustive,
+            PruneConfig::on(),
+        );
+        let fastest = exact.plan(Objective::fastest()).unwrap();
+        let objective = Objective::min_cost_with_deadline_s(fastest.predicted_jct_s() * 2.0);
+        assert_eq!(
+            exact.plan(objective).unwrap().predicted_cost(),
+            brute.plan(objective).unwrap().predicted_cost()
+        );
+    }
+
+    #[test]
+    fn algorithm1_sessions_run_unpruned() {
+        let job = job();
+        let platform = Platform::aws_lambda();
+        let space = ConfigSpace::with_tiers(&job, &platform, &[128, 512, 1792, 3008]);
+        let session = PlannerSession::new(
+            &job,
+            platform,
+            PriceCatalog::aws_2020(),
+            space,
+            Strategy::Algorithm1,
+            PruneConfig::on(),
+        );
+        assert_eq!(session.dag().prune_stats().total(), 0);
+    }
+}

@@ -1,6 +1,8 @@
 //! Solver strategies over the planner DAG.
 
-use astra_graph::csp::constrained_shortest_path;
+use astra_graph::csp::{
+    constrained_shortest_path, constrained_shortest_path_with_bounds, dag_potentials,
+};
 use astra_graph::yen::KShortestPaths;
 use astra_model::{evaluate, JobConfig, JobSpec, Platform};
 use astra_pricing::{Money, PriceCatalog};
@@ -110,6 +112,96 @@ pub fn solve_on_dag(dag: &PlannerDag, objective: Objective, strategy: Strategy) 
         }
     }?;
     Some(dag.config_for_path(&edges))
+}
+
+/// Backward lower-bound potentials over a built planner DAG: per node,
+/// the minimum remaining time (seconds) and the minimum remaining cost
+/// (micro-dollars, the CSP's working unit) to the sink. Both are true
+/// minima — admissible and consistent for either objective orientation —
+/// so one computation serves every budget *and* deadline query against
+/// the same DAG (see [`solve_on_dag_with_potentials`]).
+#[derive(Debug, Clone)]
+pub struct PlannerPotentials {
+    min_time_to: Vec<f64>,
+    min_cost_to: Vec<f64>,
+}
+
+impl PlannerPotentials {
+    /// Compute both potentials in one reverse-topological sweep over the
+    /// DAG (cost: one pass over the edges).
+    pub fn compute(dag: &PlannerDag) -> PlannerPotentials {
+        let pots = dag_potentials(
+            dag.graph(),
+            dag.sink(),
+            |_, m| m.time_s,
+            |_, m| m.cost_nanos as f64 * 1e-3,
+        )
+        .expect("planner graph is acyclic by construction");
+        PlannerPotentials {
+            min_time_to: pots.min_weight_to,
+            min_cost_to: pots.min_resource_to,
+        }
+    }
+
+    /// Per-node minimum remaining time to the sink (seconds).
+    pub fn min_time_to(&self) -> &[f64] {
+        &self.min_time_to
+    }
+
+    /// Per-node minimum remaining cost to the sink (micro-dollars).
+    pub fn min_cost_to(&self) -> &[f64] {
+        &self.min_cost_to
+    }
+}
+
+/// [`solve_on_dag`] accelerated by precomputed [`PlannerPotentials`].
+///
+/// Only [`Strategy::ExactCsp`] consumes the potentials (A*-guided,
+/// bound- and incumbent-pruned label search; exactness argument in
+/// `astra_graph::csp`); the other strategies delegate to the plain
+/// solver unchanged. When `telemetry` is enabled, label-search effort is
+/// reported through the `planner.csp.labels_*` counters.
+pub fn solve_on_dag_with_potentials(
+    dag: &PlannerDag,
+    potentials: &PlannerPotentials,
+    objective: Objective,
+    strategy: Strategy,
+    telemetry: &astra_telemetry::Telemetry,
+) -> Option<JobConfig> {
+    if strategy != Strategy::ExactCsp {
+        return solve_on_dag(dag, objective, strategy);
+    }
+    let g = dag.graph();
+    let (src, dst) = (dag.source(), dag.sink());
+    let run = match objective {
+        Objective::MinimizeTime { budget } => constrained_shortest_path_with_bounds(
+            g,
+            src,
+            dst,
+            (budget.nanos() as f64 * 1e-3) * (1.0 + BOUND_EPS) + BOUND_EPS,
+            |_, m| m.time_s,
+            |_, m| m.cost_nanos as f64 * 1e-3,
+            &potentials.min_time_to,
+            &potentials.min_cost_to,
+        ),
+        Objective::MinimizeCost { deadline_s } => constrained_shortest_path_with_bounds(
+            g,
+            src,
+            dst,
+            deadline_s * (1.0 + BOUND_EPS) + BOUND_EPS,
+            |_, m| m.cost_nanos as f64 * 1e-3,
+            |_, m| m.time_s,
+            &potentials.min_cost_to,
+            &potentials.min_time_to,
+        ),
+    };
+    if telemetry.enabled() {
+        let s = run.stats;
+        telemetry.counter("planner.csp.labels_created", s.labels_created);
+        telemetry.counter("planner.csp.labels_settled", s.labels_settled);
+        telemetry.counter("planner.csp.labels_pruned", s.pruned_total());
+    }
+    run.solution.map(|sol| dag.config_for_path(&sol.edges))
 }
 
 /// Brute-force reference solver: evaluate every configuration in `space`
@@ -331,6 +423,40 @@ mod tests {
         let (te, _) = eval(&job, &platform, &catalog, &exact);
         let (tg, _) = eval(&job, &platform, &catalog, &got);
         assert!(tg >= te - 1e-9);
+    }
+
+    #[test]
+    fn potentials_solver_matches_plain_solver_on_both_objectives() {
+        let (job, platform, catalog, _, dag) = setup(6, &[128, 512, 3008]);
+        let pots = PlannerPotentials::compute(&dag);
+        let tel = astra_telemetry::Telemetry::disabled();
+        let cheapest = solve_on_dag(&dag, Objective::cheapest(), Strategy::ExactCsp).unwrap();
+        let fastest = solve_on_dag(&dag, Objective::fastest(), Strategy::ExactCsp).unwrap();
+        let (_, min_cost) = eval(&job, &platform, &catalog, &cheapest);
+        let (min_time, _) = eval(&job, &platform, &catalog, &fastest);
+        for frac in [1.0, 1.05, 1.3, 2.0, 10.0] {
+            let o = Objective::MinimizeTime {
+                budget: min_cost.scale(frac),
+            };
+            assert_eq!(
+                solve_on_dag_with_potentials(&dag, &pots, o, Strategy::ExactCsp, &tel),
+                solve_on_dag(&dag, o, Strategy::ExactCsp),
+                "min-time at budget x{frac}"
+            );
+            let o = Objective::MinimizeCost {
+                deadline_s: min_time * frac,
+            };
+            assert_eq!(
+                solve_on_dag_with_potentials(&dag, &pots, o, Strategy::ExactCsp, &tel),
+                solve_on_dag(&dag, o, Strategy::ExactCsp),
+                "min-cost at deadline x{frac}"
+            );
+        }
+        // Infeasible bound: both say so.
+        let o = Objective::MinimizeTime {
+            budget: Money::from_nanos(1),
+        };
+        assert!(solve_on_dag_with_potentials(&dag, &pots, o, Strategy::ExactCsp, &tel).is_none());
     }
 
     #[test]

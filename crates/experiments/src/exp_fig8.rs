@@ -32,10 +32,13 @@ pub struct QosComparison {
 /// Plan and measure one workload under the QoS threshold.
 pub fn compare(spec: WorkloadSpec) -> QosComparison {
     let job = spec.into_job();
-    let bounds = harness::bounds(&job);
+    // One planner session serves the bounds probes and the constrained
+    // plan — three queries, one DAG build.
+    let session = harness::session(&job);
+    let bounds = harness::bounds_on(&session);
     let deadline_s = harness::deadline_times_fastest(&bounds, DEADLINE_FRAC);
-    let astra_plan = harness::astra()
-        .plan(&job, Objective::min_cost_with_deadline_s(deadline_s))
+    let astra_plan = session
+        .plan(Objective::min_cost_with_deadline_s(deadline_s))
         .expect("deadline above the fastest plan is feasible");
     let baseline_plans: Vec<(&'static str, Plan)> = Baseline::all()
         .into_iter()

@@ -24,17 +24,27 @@ pub fn run(out: &mut Output) {
     let mut json_rows = Vec::new();
     for spec in WorkloadSpec::paper_suite() {
         let job = spec.into_job();
-        let bounds = harness::bounds(&job);
+        // One session per strategy: the DAG (and, for the exact solver,
+        // its backward potentials) is built once and reused across the
+        // whole tightness sweep — the per-query numbers below are pure
+        // solve time.
+        let t0 = Instant::now();
+        let exact_session = harness::astra_with(Strategy::ExactCsp).session(&job);
+        let exact_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let alg1_session = harness::astra_with(Strategy::Algorithm1).session(&job);
+        let alg1_build_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let bounds = harness::bounds_on(&exact_session);
         for frac in TIGHTNESS {
             let budget = harness::budget_between(&bounds, frac);
             let objective = Objective::MinimizeTime { budget };
 
             let t0 = Instant::now();
-            let exact = harness::astra_with(Strategy::ExactCsp).plan(&job, objective);
+            let exact = exact_session.plan(objective);
             let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
 
             let t1 = Instant::now();
-            let alg1 = harness::astra_with(Strategy::Algorithm1).plan(&job, objective);
+            let alg1 = alg1_session.plan(objective);
             let alg1_ms = t1.elapsed().as_secs_f64() * 1e3;
 
             let (gap, alg1_result) = match (&exact, &alg1) {
@@ -67,6 +77,8 @@ pub fn run(out: &mut Output) {
                 "alg1_failed": alg1.is_err(),
                 "exact_ms": exact_ms,
                 "alg1_ms": alg1_ms,
+                "exact_build_ms": exact_build_ms,
+                "alg1_build_ms": alg1_build_ms,
             }));
         }
     }
@@ -85,8 +97,9 @@ pub fn run(out: &mut Output) {
     out.blank();
     out.line("Alg. 1 removes one edge per Dijkstra round (capped at 2000 removals);");
     out.line("on tight budgets it can fail where the exact solver succeeds.");
-    out.line("Planner overhead (build + solve) stays within the paper's 'few");
-    out.line("seconds on a laptop' on every workload.");
+    out.line("The DAG is built once per workload (planner session) and the ms");
+    out.line("columns are pure per-query solve time; build + all solves stay");
+    out.line("within the paper's 'few seconds on a laptop' on every workload.");
     out.record("rows", json!(json_rows));
 }
 

@@ -1,6 +1,6 @@
 //! Shared measurement machinery for all experiments.
 
-use astra_core::{Astra, Objective, Plan, PlanSpec, Strategy};
+use astra_core::{Astra, Objective, Plan, PlanSpec, PlannerSession, Strategy};
 use astra_faas::{SimConfig, SimReport};
 use astra_mapreduce::{simulate, simulate_batch, SimCase};
 use astra_model::{JobSpec, Platform};
@@ -42,6 +42,14 @@ pub fn astra_with(strategy: Strategy) -> Astra {
 /// The default planner (exact constrained solver).
 pub fn astra() -> Astra {
     astra_with(Strategy::ExactCsp)
+}
+
+/// A reusable planning session for `job` over the evaluation platform:
+/// one DAG + potentials build, any number of budget/deadline queries.
+/// Experiments that ask several questions about the same job should use
+/// this instead of repeated [`Astra::plan`] calls.
+pub fn session(job: &JobSpec) -> PlannerSession {
+    astra().session(job)
 }
 
 /// Evaluate a plan spec against a *relaxed-timeout* platform (baselines
@@ -187,12 +195,16 @@ pub struct PlanBounds {
 
 /// Compute [`PlanBounds`] by planning unconstrained in both directions.
 pub fn bounds(job: &JobSpec) -> PlanBounds {
-    let astra = astra();
-    let cheapest = astra
-        .plan(job, Objective::cheapest())
+    bounds_on(&session(job))
+}
+
+/// [`bounds`] against an existing session (no extra DAG builds).
+pub fn bounds_on(session: &PlannerSession) -> PlanBounds {
+    let cheapest = session
+        .plan(Objective::cheapest())
         .expect("every job has a cheapest plan");
-    let fastest = astra
-        .plan(job, Objective::fastest())
+    let fastest = session
+        .plan(Objective::fastest())
         .expect("every job has a fastest plan");
     PlanBounds {
         min_cost: cheapest.predicted_cost(),

@@ -183,6 +183,39 @@ struct LambdaState {
     span_id: u64,
 }
 
+/// The static span names the engine emits, interned once per simulator.
+///
+/// `tel_span` fires per op on the hot path; cloning a pre-built
+/// `Arc<str>` is a refcount bump, where `Arc::from("get")` would be a
+/// fresh allocation plus copy for every span.
+struct SpanNames {
+    queued: Arc<str>,
+    cold_start: Arc<str>,
+    retry_cold_start: Arc<str>,
+    get: Arc<str>,
+    put: Arc<str>,
+    compute: Arc<str>,
+    spawn: Arc<str>,
+    wait_children: Arc<str>,
+    invocation: Arc<str>,
+}
+
+impl SpanNames {
+    fn intern() -> Self {
+        SpanNames {
+            queued: Arc::from("queued"),
+            cold_start: Arc::from("cold_start"),
+            retry_cold_start: Arc::from("retry_cold_start"),
+            get: Arc::from("get"),
+            put: Arc::from("put"),
+            compute: Arc::from("compute"),
+            spawn: Arc::from("spawn"),
+            wait_children: Arc::from("wait_children"),
+            invocation: Arc::from("invocation"),
+        }
+    }
+}
+
 /// The simulator. Create one per job run.
 ///
 /// Lifecycle state lives in a slab (`states`, indexed by invocation id);
@@ -208,6 +241,18 @@ pub struct FaasSim {
     /// Warm containers available per memory tier (container reuse only).
     warm_pool: std::collections::HashMap<u32, usize>,
     warm_starts: u64,
+    /// Interned telemetry span names (see [`SpanNames`]).
+    names: SpanNames,
+    /// `config.telemetry.enabled()`, cached at construction: the config
+    /// is immutable once the engine exists, and the flag is consulted on
+    /// every event.
+    tel_enabled: bool,
+    /// Wall stamp shared by every sim-clock span this run emits. Sim
+    /// spans live on the simulated timeline; their wall fields are pure
+    /// cross-reference metadata (degenerate start == end intervals), so
+    /// one `wall_clock_ns()` read at construction replaces one clock
+    /// read per span on the hot path.
+    wall_anchor: u64,
 }
 
 impl FaasSim {
@@ -220,6 +265,7 @@ impl FaasSim {
         for (key, size) in inputs {
             ledger.register_preexisting(key.clone(), *size);
         }
+        let tel_enabled = config.telemetry.enabled();
         FaasSim {
             config,
             queue: EventQueue::with_capacity(64),
@@ -235,6 +281,13 @@ impl FaasSim {
             crashes: 0,
             warm_pool: std::collections::HashMap::new(),
             warm_starts: 0,
+            names: SpanNames::intern(),
+            tel_enabled,
+            wall_anchor: if tel_enabled {
+                astra_telemetry::wall_clock_ns()
+            } else {
+                0
+            },
         }
     }
 
@@ -254,15 +307,16 @@ impl FaasSim {
 
     /// Mirror an engine trace interval as a sim-clock telemetry span
     /// parented to invocation `id`'s span. Callers check
-    /// `self.config.telemetry.enabled()` first so the disabled path never
-    /// allocates the payload.
-    fn tel_span(&self, id: usize, name: &'static str, kind: &'static str, start: SimTime, end: SimTime) {
+    /// `self.tel_enabled` first so the disabled path never allocates the
+    /// payload; `name` comes pre-interned from [`SpanNames`] so the hot
+    /// path clones a refcount instead of allocating a string.
+    fn tel_span(&self, id: usize, name: &Arc<str>, kind: &'static str, start: SimTime, end: SimTime) {
         let tel = &self.config.telemetry;
-        let wall = astra_telemetry::wall_clock_ns();
+        let wall = self.wall_anchor;
         let parent = self.states[id].span_id;
         tel.span(SpanRecord {
             track: self.states[id].name.clone(),
-            name: Arc::from(name),
+            name: Arc::clone(name),
             kind,
             clock: Clock::Sim,
             sim_start_us: start.as_micros(),
@@ -379,8 +433,8 @@ impl FaasSim {
                     let name = self.states[id].name.clone();
                     self.trace
                         .record(name, SpanKind::QueuedConcurrency, arrived, now);
-                    if self.config.telemetry.enabled() {
-                        self.tel_span(id, "queued", "queued", arrived, now);
+                    if self.tel_enabled {
+                        self.tel_span(id, &self.names.queued, "queued", arrived, now);
                     }
                 }
                 let mem = self.states[id].spec.memory_mb;
@@ -400,8 +454,8 @@ impl FaasSim {
                 if cold > SimDuration::ZERO {
                     let name = self.states[id].name.clone();
                     self.trace.record(name, SpanKind::ColdStart, now, now + cold);
-                    if self.config.telemetry.enabled() {
-                        self.tel_span(id, "cold_start", "cold_start", now, now + cold);
+                    if self.tel_enabled {
+                        self.tel_span(id, &self.names.cold_start, "cold_start", now, now + cold);
                     }
                 }
                 self.queue.schedule(now + cold, Event::Ready(id));
@@ -434,11 +488,11 @@ impl FaasSim {
                         let name = self.states[id].name.clone();
                         self.trace.record(name, SpanKind::ColdStart, now, now + cold);
                     }
-                    if self.config.telemetry.enabled() {
+                    if self.tel_enabled {
                         self.config.telemetry.counter("engine.retries", 1);
                         // Annotated `retry` name so traces distinguish a
                         // first-launch cold start from a retry's.
-                        self.tel_span(id, "retry_cold_start", "cold_start", now, now + cold);
+                        self.tel_span(id, &self.names.retry_cold_start, "cold_start", now, now + cold);
                     }
                     self.queue.schedule(now + cold, Event::Ready(id));
                     return Ok(());
@@ -450,15 +504,15 @@ impl FaasSim {
                 let now = self.queue.now();
                 let st = &self.states[id];
                 let (kind, tel_name, tel_kind) = match &st.spec.ops[st.op_idx] {
-                    Op::Get { .. } => (SpanKind::StorageGet, "get", "storage_get"),
-                    Op::Put { .. } => (SpanKind::StoragePut, "put", "storage_put"),
-                    Op::Compute { .. } => (SpanKind::Compute, "compute", "compute"),
-                    Op::Spawn { .. } => (SpanKind::Compute, "spawn", "compute"),
+                    Op::Get { .. } => (SpanKind::StorageGet, &self.names.get, "storage_get"),
+                    Op::Put { .. } => (SpanKind::StoragePut, &self.names.put, "storage_put"),
+                    Op::Compute { .. } => (SpanKind::Compute, &self.names.compute, "compute"),
+                    Op::Spawn { .. } => (SpanKind::Compute, &self.names.spawn, "compute"),
                 };
                 let start = st.op_started;
                 let name = st.name.clone();
                 self.trace.record(name, kind, start, now);
-                if self.config.telemetry.enabled() {
+                if self.tel_enabled {
                     self.tel_span(id, tel_name, tel_kind, start, now);
                 }
                 self.check_timeout(id)?;
@@ -562,7 +616,7 @@ impl FaasSim {
     fn finish(&mut self, id: usize) -> Result<(), SimError> {
         let now = self.queue.now();
         self.check_timeout(id)?;
-        if self.config.telemetry.enabled() {
+        if self.tel_enabled {
             // The invocation span covers arrival → finish (so queueing,
             // cold starts and every op nest inside it), unlike the
             // billing-oriented TraceLog span which starts at the handler.
@@ -572,10 +626,10 @@ impl FaasSim {
                 .parent
                 .map(|p| self.states[p].span_id)
                 .filter(|&p| p != 0);
-            let wall = astra_telemetry::wall_clock_ns();
+            let wall = self.wall_anchor;
             self.config.telemetry.span(SpanRecord {
                 track: st.name.clone(),
-                name: Arc::from("invocation"),
+                name: Arc::clone(&self.names.invocation),
                 kind: "invocation",
                 clock: Clock::Sim,
                 sim_start_us: st.arrived.as_micros(),
@@ -612,8 +666,8 @@ impl FaasSim {
                     let name = st.name.clone();
                     self.trace
                         .record(name, SpanKind::WaitChildren, wait_start, now);
-                    if self.config.telemetry.enabled() {
-                        self.tel_span(parent, "wait_children", "wait_children", wait_start, now);
+                    if self.tel_enabled {
+                        self.tel_span(parent, &self.names.wait_children, "wait_children", wait_start, now);
                     }
                     self.check_timeout(parent)?;
                     return self.advance(parent);

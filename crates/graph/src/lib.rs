@@ -23,7 +23,10 @@ pub mod dot;
 pub mod graph;
 pub mod yen;
 
-pub use csp::{constrained_shortest_path, CspSolution};
+pub use csp::{
+    constrained_shortest_path, constrained_shortest_path_with_bounds, dag_potentials, CspRun,
+    CspSolution, CspStats, Potentials,
+};
 pub use dijkstra::{shortest_path, ShortestPath};
 pub use graph::{DiGraph, EdgeId, NodeId};
 pub use yen::KShortestPaths;
