@@ -14,7 +14,12 @@
 //!   measurable and gated alongside the disabled-path timing;
 //! * `sweep_serial/N{n}` / `sweep_parallel/N{n}` — a 16-replication
 //!   noisy seed sweep run as a serial loop versus `simulate_batch`,
-//!   with the speedup recorded.
+//!   with the speedup recorded;
+//! * `service_throughput/N{n}` — a 16-job batch submitted through the
+//!   `astra-service` daemon (2 workers, session cache warm after the
+//!   first job) and drained to terminal snapshots, so the whole
+//!   submit→admit→plan→simulate pipeline is gated, with jobs/sec
+//!   recorded alongside the timing.
 //!
 //! ```text
 //! astra-sim-bench [--out FILE]          write results (default BENCH_sim.json)
@@ -35,6 +40,7 @@ use astra_core::{Objective, Strategy};
 use astra_faas::{derive_seed, SimConfig};
 use astra_mapreduce::{simulate, simulate_batch, SimCase};
 use astra_model::Platform;
+use astra_service::{JobRequest, ServiceConfig, ServiceDaemon, SimOptions};
 use serde_json::{json, Value};
 
 /// Replications per sweep bench: enough to keep every core busy.
@@ -143,6 +149,49 @@ fn run_suite(args: &BenchArgs) -> Value {
             "serial_ms": serial_min,
             "parallel_ms": par_min,
             "speedup": serial_min / par_min,
+        }));
+
+        // Service-daemon throughput: the same job submitted SWEEP_RUNS
+        // times (distinct seeds) through a 2-worker daemon, timed from
+        // first submit to last terminal snapshot. After the first job
+        // the planner session comes from the LRU cache, so this gates
+        // the queue/admission/dispatch overhead plus the simulations.
+        let (svc_mean, svc_min) = time_ms(args.samples, || {
+            let daemon = ServiceDaemon::start(
+                ServiceConfig::default()
+                    .with_workers(2)
+                    .with_telemetry(astra_telemetry::Telemetry::disabled()),
+            );
+            let handle = daemon.handle();
+            let ids: Vec<_> = (0..SWEEP_RUNS)
+                .map(|i| {
+                    let request =
+                        JobRequest::new(format!("bench-{i}"), job.clone(), Objective::fastest())
+                            .with_sim(SimOptions {
+                                noise_cv: NOISE_CV,
+                                seed: derive_seed(7, i),
+                                replications: 1,
+                            });
+                    handle.submit(request)
+                })
+                .collect();
+            ids.iter()
+                .filter(|&&id| handle.await_done(id).expect("bench job vanished").status
+                    == astra_service::JobStatus::Done)
+                .count()
+        });
+        let jobs_per_sec = SWEEP_RUNS as f64 / (svc_min / 1e3);
+        eprintln!(
+            "bench service_throughput/N{n}: mean {svc_mean:.2} ms, min {svc_min:.2} ms \
+             ({jobs_per_sec:.0} jobs/s)"
+        );
+        results.push(json!({
+            "name": format!("service_throughput/N{n}"),
+            "n": n,
+            "jobs": SWEEP_RUNS,
+            "mean_ms": svc_mean,
+            "min_ms": svc_min,
+            "jobs_per_sec": jobs_per_sec,
         }));
     }
 

@@ -26,6 +26,57 @@ pub struct JobOpts {
     pub metrics: bool,
 }
 
+/// Options for `astra serve` — drive a demo job mix through the
+/// in-process service daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOpts {
+    /// How many jobs to submit (`--jobs`, default 12).
+    pub jobs: usize,
+    /// Daemon worker-pool size (`--workers`, default 2).
+    pub workers: usize,
+    /// Simulation replications per job (`--reps`, default 1; 0 = plan only).
+    pub reps: u32,
+    /// Simulator noise CV (`--noise`, default 0.1).
+    pub noise_cv: f64,
+    /// Base simulator seed; job i uses `seed + i` (`--seed`).
+    pub seed: u64,
+    /// Planner thread-count override (`--threads`).
+    pub threads: Option<usize>,
+    /// Chrome-trace output path (`--trace-out`).
+    pub trace_out: Option<String>,
+    /// Print telemetry counters after the run (`--metrics`).
+    pub metrics: bool,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            jobs: 12,
+            workers: 2,
+            reps: 1,
+            noise_cv: 0.1,
+            seed: 42,
+            threads: None,
+            trace_out: None,
+            metrics: false,
+        }
+    }
+}
+
+/// Options for `astra submit` — one job through a fresh daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitOpts {
+    /// The workload/objective/noise/seed options shared with `plan`.
+    pub job: JobOpts,
+    /// Daemon worker-pool size (`--workers`, default 2).
+    pub workers: usize,
+    /// Simulation replications (`--reps`, default 1; 0 = plan only).
+    pub reps: u32,
+    /// Emit the full snapshot as wire JSON instead of the human table
+    /// (`--json`).
+    pub json: bool,
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -42,6 +93,12 @@ pub enum Command {
     /// `astra frontier --workload W` — the cost-performance Pareto
     /// frontier.
     Frontier(JobOpts),
+    /// `astra serve [--jobs N --workers N --reps N]` — run a demo job
+    /// mix through the in-process service daemon.
+    Serve(ServeOpts),
+    /// `astra submit --workload W [...]` — submit one job through the
+    /// daemon and await its terminal snapshot.
+    Submit(SubmitOpts),
     /// `astra help`.
     Help,
 }
@@ -55,23 +112,33 @@ impl Command {
             | Command::Baselines(o)
             | Command::Timeline(o)
             | Command::Frontier(o) => Some(o),
-            Command::Workloads | Command::Help => None,
+            Command::Submit(o) => Some(&o.job),
+            Command::Workloads | Command::Serve(_) | Command::Help => None,
         }
     }
 
     /// The `--threads` override this invocation carries, if any.
     pub fn threads(&self) -> Option<usize> {
-        self.job_opts().and_then(|o| o.threads)
+        match self {
+            Command::Serve(o) => o.threads,
+            _ => self.job_opts().and_then(|o| o.threads),
+        }
     }
 
     /// The `--trace-out` path this invocation carries, if any.
     pub fn trace_out(&self) -> Option<&str> {
-        self.job_opts().and_then(|o| o.trace_out.as_deref())
+        match self {
+            Command::Serve(o) => o.trace_out.as_deref(),
+            _ => self.job_opts().and_then(|o| o.trace_out.as_deref()),
+        }
     }
 
     /// Whether `--metrics` was given.
     pub fn metrics(&self) -> bool {
-        self.job_opts().map(|o| o.metrics).unwrap_or(false)
+        match self {
+            Command::Serve(o) => o.metrics,
+            _ => self.job_opts().map(|o| o.metrics).unwrap_or(false),
+        }
     }
 }
 
@@ -201,6 +268,110 @@ fn parse_job_opts(args: &[String]) -> Result<JobOpts, ParseError> {
     })
 }
 
+fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, ParseError> {
+    let mut opts = ServeOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> Result<&String, ParseError> {
+            args.get(i + 1)
+                .ok_or_else(|| ParseError::MissingValue(flag.to_string()))
+        };
+        let bad = || ParseError::BadFlag(flag.to_string());
+        match flag {
+            "--jobs" | "-n" => {
+                opts.jobs = value()?.parse().map_err(|_| bad())?;
+                if opts.jobs == 0 {
+                    return Err(bad());
+                }
+                i += 2;
+            }
+            "--workers" => {
+                opts.workers = value()?.parse().map_err(|_| bad())?;
+                if opts.workers == 0 {
+                    return Err(bad());
+                }
+                i += 2;
+            }
+            "--reps" => {
+                opts.reps = value()?.parse().map_err(|_| bad())?;
+                i += 2;
+            }
+            "--noise" => {
+                opts.noise_cv = value()?.parse().map_err(|_| bad())?;
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = value()?.parse().map_err(|_| bad())?;
+                i += 2;
+            }
+            "--threads" | "-t" => {
+                let n: usize = value()?.parse().map_err(|_| bad())?;
+                if n == 0 {
+                    return Err(bad());
+                }
+                opts.threads = Some(n);
+                i += 2;
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(value()?.clone());
+                i += 2;
+            }
+            "--metrics" => {
+                opts.metrics = true;
+                i += 1;
+            }
+            other => return Err(ParseError::BadFlag(other.to_string())),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_submit_opts(args: &[String]) -> Result<SubmitOpts, ParseError> {
+    // Peel off the submit-specific flags, hand the rest to the shared
+    // job-option parser.
+    let mut workers = 2usize;
+    let mut reps = 1u32;
+    let mut json = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> Result<&String, ParseError> {
+            args.get(i + 1)
+                .ok_or_else(|| ParseError::MissingValue(flag.to_string()))
+        };
+        let bad = || ParseError::BadFlag(flag.to_string());
+        match flag {
+            "--workers" => {
+                workers = value()?.parse().map_err(|_| bad())?;
+                if workers == 0 {
+                    return Err(bad());
+                }
+                i += 2;
+            }
+            "--reps" => {
+                reps = value()?.parse().map_err(|_| bad())?;
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Ok(SubmitOpts {
+        job: parse_job_opts(&rest)?,
+        workers,
+        reps,
+        json,
+    })
+}
+
 /// Parse an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let Some(command) = args.first() else {
@@ -214,6 +385,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "baselines" => Ok(Command::Baselines(parse_job_opts(rest)?)),
         "timeline" => Ok(Command::Timeline(parse_job_opts(rest)?)),
         "frontier" => Ok(Command::Frontier(parse_job_opts(rest)?)),
+        "serve" => Ok(Command::Serve(parse_serve_opts(rest)?)),
+        "submit" => Ok(Command::Submit(parse_submit_opts(rest)?)),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError::UnknownCommand(other.to_string())),
     }
@@ -325,5 +498,54 @@ mod tests {
     fn help_parses() {
         assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
         assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn serve_parses_with_defaults_and_overrides() {
+        let cmd = parse(&argv("serve")).unwrap();
+        let Command::Serve(opts) = cmd else { panic!() };
+        assert_eq!(opts, ServeOpts::default());
+
+        let cmd = parse(&argv("serve --jobs 20 --workers 4 --reps 2 --seed 7 --metrics")).unwrap();
+        assert!(cmd.metrics());
+        let Command::Serve(opts) = cmd else { panic!() };
+        assert_eq!(opts.jobs, 20);
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.reps, 2);
+        assert_eq!(opts.seed, 7);
+
+        // Telemetry/threads flags ride along like the job subcommands.
+        let cmd = parse(&argv("serve -t 4 --trace-out svc.json")).unwrap();
+        assert_eq!(cmd.threads(), Some(4));
+        assert_eq!(cmd.trace_out(), Some("svc.json"));
+        assert!(cmd.job_opts().is_none());
+
+        // Zero jobs or workers is meaningless.
+        assert!(matches!(parse(&argv("serve --jobs 0")), Err(ParseError::BadFlag(_))));
+        assert!(matches!(parse(&argv("serve --workers 0")), Err(ParseError::BadFlag(_))));
+        assert!(matches!(parse(&argv("serve --wat")), Err(ParseError::BadFlag(_))));
+    }
+
+    #[test]
+    fn submit_parses_job_flags_plus_service_flags() {
+        let cmd = parse(&argv("submit -w sort --budget 4 --workers 3 --reps 2 --json --seed 9")).unwrap();
+        let Command::Submit(opts) = cmd else { panic!() };
+        assert_eq!(opts.job.workload, WorkloadSpec::Sort100);
+        assert_eq!(opts.job.budget, Some(4.0));
+        assert_eq!(opts.job.seed, 9);
+        assert_eq!(opts.workers, 3);
+        assert_eq!(opts.reps, 2);
+        assert!(opts.json);
+
+        // Defaults, and the shared accessors see the inner JobOpts.
+        let cmd = parse(&argv("submit -w wc1 --metrics")).unwrap();
+        assert!(cmd.metrics());
+        let Command::Submit(opts) = cmd else { panic!() };
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.reps, 1);
+        assert!(!opts.json);
+
+        assert!(matches!(parse(&argv("submit --workers")), Err(ParseError::MissingValue(_))));
+        assert!(matches!(parse(&argv("submit --wat 3")), Err(ParseError::BadFlag(_))));
     }
 }

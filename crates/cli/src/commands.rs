@@ -8,9 +8,10 @@ use astra_faas::{SimConfig, SimReport};
 use astra_mapreduce::simulate as run_sim;
 use astra_model::{JobSpec, Platform};
 use astra_pricing::PriceCatalog;
+use astra_service::{wire, JobRequest, ServiceConfig, ServiceDaemon, SimOptions};
 use astra_workloads::WorkloadSpec;
 
-use crate::args::JobOpts;
+use crate::args::{JobOpts, ServeOpts, SubmitOpts};
 
 fn objective_for(opts: &JobOpts) -> Objective {
     match (opts.budget, opts.deadline_s) {
@@ -247,6 +248,139 @@ pub fn frontier(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
     Ok(())
 }
 
+/// `astra serve` — spin up the in-process service daemon, drive a
+/// deterministic demo mix of jobs through it, and print the per-job
+/// terminal snapshots plus the session-cache scorecard.
+pub fn serve(opts: ServeOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    let daemon = ServiceDaemon::start(ServiceConfig::default().with_workers(opts.workers));
+    let handle = daemon.handle();
+    let families = [
+        WorkloadSpec::wordcount_gb(1),
+        WorkloadSpec::wordcount_gb(10),
+        WorkloadSpec::wordcount_gb(20),
+        WorkloadSpec::QueryUservisits,
+    ];
+    writeln!(
+        out,
+        "daemon up: {} workers; submitting {} jobs ({} sim reps each)\n",
+        opts.workers, opts.jobs, opts.reps
+    )?;
+    let ids: Vec<_> = (0..opts.jobs)
+        .map(|i| {
+            let spec = families[i % families.len()];
+            let objective = match i % 3 {
+                0 => Objective::fastest(),
+                1 => Objective::cheapest(),
+                _ => Objective::min_time_with_budget_dollars(8.0),
+            };
+            let request = JobRequest::new(format!("{}#{i}", spec.label()), spec.into_job(), objective)
+                .with_sim(SimOptions {
+                    noise_cv: opts.noise_cv,
+                    seed: opts.seed + i as u64,
+                    replications: opts.reps,
+                });
+            handle.submit(request)
+        })
+        .collect();
+
+    writeln!(
+        out,
+        "{:<4} {:<22} {:<9} {:>9} {:>13} {:>9} {:>9} {:>6}",
+        "id", "name", "status", "pred JCT", "pred cost", "sim JCT", "wait ms", "cache"
+    )?;
+    for id in ids {
+        let snap = handle.await_done(id).expect("submitted job vanished");
+        let (pred_jct, pred_cost) = snap
+            .plan
+            .as_ref()
+            .map(|p| (format!("{:.1}s", p.predicted_jct_s), p.predicted_cost.to_string()))
+            .unwrap_or_else(|| ("-".into(), "-".into()));
+        let sim_jct = snap
+            .sim
+            .as_ref()
+            .map(|s| format!("{:.1}s", s.mean_jct_s()))
+            .unwrap_or_else(|| "-".into());
+        writeln!(
+            out,
+            "{:<4} {:<22} {:<9} {:>9} {:>13} {:>9} {:>9.1} {:>6}",
+            snap.id,
+            snap.request.name,
+            snap.status.as_str(),
+            pred_jct,
+            pred_cost,
+            sim_jct,
+            snap.metrics.queue_wait_ns as f64 / 1e6,
+            if snap.session_cache_hit { "hit" } else { "miss" },
+        )?;
+        if let Some(reason) = &snap.reason {
+            writeln!(out, "     reason: {reason}")?;
+        }
+    }
+
+    let stats = handle.cache_stats();
+    writeln!(
+        out,
+        "\nsession cache: {} hits / {} misses / {} evictions ({} live entries)",
+        stats.hits, stats.misses, stats.evictions, stats.entries
+    )?;
+    let drained = daemon.shutdown();
+    writeln!(out, "daemon drained cleanly: {} jobs total", drained.len())
+}
+
+/// `astra submit` — one job through a fresh daemon, blocking until its
+/// terminal snapshot.
+pub fn submit(opts: SubmitOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    let workload = opts.job.workload;
+    let request = JobRequest::new(workload.label(), workload.into_job(), objective_for(&opts.job))
+        .with_sim(SimOptions {
+            noise_cv: opts.job.noise_cv,
+            seed: opts.job.seed,
+            replications: opts.reps,
+        });
+    let daemon = ServiceDaemon::start(ServiceConfig::default().with_workers(opts.workers));
+    let handle = daemon.handle();
+    let id = handle.submit(request);
+    let snap = handle.await_done(id).expect("submitted job vanished");
+
+    if opts.json {
+        let body = serde_json::to_string_pretty(&wire::snapshot_to_json(&snap))
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        return writeln!(out, "{body}");
+    }
+
+    writeln!(out, "Job      : {} (id {})", snap.request.name, snap.id)?;
+    writeln!(out, "Objective: {}", snap.request.objective)?;
+    writeln!(out, "Status   : {}", snap.status)?;
+    if let Some(reason) = &snap.reason {
+        writeln!(out, "Reason   : {reason}")?;
+    }
+    if let Some(plan) = &snap.plan {
+        writeln!(out, "Plan     : {}", plan.summary)?;
+        writeln!(
+            out,
+            "Predicted: JCT {:.1}s, cost {}",
+            plan.predicted_jct_s, plan.predicted_cost
+        )?;
+    }
+    if let Some(sim) = &snap.sim {
+        writeln!(
+            out,
+            "Simulated: mean JCT {:.1}s over {} reps (cost {})",
+            sim.mean_jct_s(),
+            sim.jct_s.len(),
+            sim.mean_cost(),
+        )?;
+    }
+    writeln!(
+        out,
+        "Timing   : queue {:.1}ms, plan {:.1}ms, sim {:.1}ms (session cache {})",
+        snap.metrics.queue_wait_ns as f64 / 1e6,
+        snap.metrics.plan_ns as f64 / 1e6,
+        snap.metrics.sim_ns as f64 / 1e6,
+        if snap.session_cache_hit { "hit" } else { "miss" },
+    )
+}
+
 /// `astra help`.
 pub fn help(out: &mut dyn Write) -> std::io::Result<()> {
     writeln!(
@@ -263,6 +397,10 @@ COMMANDS:
     baselines -w <workload>         compare Astra against Baselines 1-3
     timeline  -w <workload> [...]   ASCII Gantt chart of a simulated run
     frontier  -w <workload>         the cost-performance Pareto frontier
+    serve     [--jobs N] [...]      drive a demo job mix through the
+                                    in-process service daemon
+    submit    -w <workload> [...]   submit one job to the daemon and
+                                    await its terminal snapshot
     help                            this message
 
 FLAGS:
@@ -278,8 +416,15 @@ FLAGS:
         --metrics           print telemetry counters and the phase-breakdown
                             table after the command
 
+SERVICE FLAGS (serve/submit):
+        --jobs <n>          serve: how many demo jobs to submit (default 12)
+        --workers <n>       daemon worker-pool size (default 2)
+        --reps <n>          simulation replications per job (0 = plan only)
+        --json              submit: print the terminal snapshot as wire JSON
+
 With neither --budget nor --deadline, astra plans for the fastest execution.
-Telemetry is observational: output numbers are identical with it on or off."
+Telemetry is observational: output numbers are identical with it on or off.
+Daemon results are bit-identical to the library API at any worker count."
     )
 }
 
@@ -398,6 +543,41 @@ mod tests {
         for cmd in ["workloads", "plan", "simulate", "baselines", "timeline", "frontier"] {
             assert!(text.contains(cmd), "missing {cmd}");
         }
+    }
+
+    #[test]
+    fn serve_runs_a_demo_mix_through_the_daemon() {
+        let text = capture(crate::Command::Serve(crate::args::ServeOpts {
+            jobs: 5,
+            workers: 2,
+            reps: 1,
+            noise_cv: 0.0,
+            seed: 1,
+            ..crate::args::ServeOpts::default()
+        }));
+        assert!(text.contains("daemon up: 2 workers"), "{text}");
+        assert!(text.contains("DONE"), "{text}");
+        assert!(text.contains("session cache:"), "{text}");
+        assert!(text.contains("drained cleanly: 5 jobs"), "{text}");
+    }
+
+    #[test]
+    fn submit_prints_a_terminal_snapshot() {
+        let opts = crate::args::SubmitOpts {
+            job: opts(WorkloadSpec::wordcount_gb(1)),
+            workers: 1,
+            reps: 2,
+            json: false,
+        };
+        let text = capture(crate::Command::Submit(opts.clone()));
+        assert!(text.contains("Status   : DONE"), "{text}");
+        assert!(text.contains("Simulated: mean JCT"), "{text}");
+        assert!(text.contains("over 2 reps"), "{text}");
+
+        // --json emits the wire encoding of the same snapshot.
+        let json = capture(crate::Command::Submit(crate::args::SubmitOpts { json: true, ..opts }));
+        assert!(json.contains("\"status\": \"DONE\""), "{json}");
+        assert!(json.contains("\"predicted_cost_nanos\""), "{json}");
     }
 
     #[test]

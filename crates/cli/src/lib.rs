@@ -48,6 +48,8 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<()
         Command::Baselines(opts) => commands::baselines(opts, out),
         Command::Timeline(opts) => commands::timeline(opts, out),
         Command::Frontier(opts) => commands::frontier(opts, out),
+        Command::Serve(opts) => commands::serve(opts, out),
+        Command::Submit(opts) => commands::submit(opts, out),
         Command::Help => commands::help(out),
     };
 

@@ -1,0 +1,7 @@
+//! Regenerates the corresponding paper artifact; see the module docs.
+fn main() {
+    let _telemetry = astra_experiments::init();
+    let mut out = astra_experiments::Output::new("exp_service");
+    astra_experiments::exp_service::run(&mut out);
+    out.save().expect("write results/");
+}

@@ -21,6 +21,7 @@ fn main() {
         ("exp_noise", exp_noise::run),
         ("exp_skew", exp_skew::run),
         ("exp_warm", exp_warm::run),
+        ("exp_service", exp_service::run),
     ];
     for (name, run) in experiments {
         let t0 = std::time::Instant::now();

@@ -20,6 +20,7 @@
 //! | Noise/failure robustness ablation | [`exp_noise`] | `exp_noise` |
 //! | Input-skew + LPT assignment extension | [`exp_skew`] | `exp_skew` |
 //! | Warm-container reuse ablation | [`exp_warm`] | `exp_warm` |
+//! | Service daemon bit-identity + throughput | [`exp_service`] | `exp_service` |
 //!
 //! `cargo run --release -p astra-experiments --bin run_all` regenerates
 //! everything into `results/` (ASCII tables on stdout and per-experiment
@@ -35,6 +36,7 @@ pub mod exp_fig9;
 pub mod exp_model_accuracy;
 pub mod exp_multicloud;
 pub mod exp_noise;
+pub mod exp_service;
 pub mod exp_skew;
 pub mod exp_warm;
 pub mod exp_solvers;

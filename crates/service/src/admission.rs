@@ -1,0 +1,211 @@
+//! Shared admission envelopes: concurrency and budget caps over the
+//! whole worker pool.
+//!
+//! Admission draws a hard line between two kinds of "no":
+//!
+//! * **Reject** is *state-independent*: the job could never run under
+//!   this envelope no matter what else is in flight (its planned cost
+//!   claim alone exceeds the total budget). Because the check ignores
+//!   current occupancy, the verdict depends only on the request and the
+//!   envelope — submission timing cannot flip it, which keeps the
+//!   service's results deterministic.
+//! * **Defer** is *state-dependent*: the job fits the envelope but not
+//!   right now (all slots busy, or admitted claims would overflow the
+//!   budget). Deferral is strictly FIFO — the queue head blocks until
+//!   *it* fits, rather than letting smaller jobs overtake — so a
+//!   deferred job's latency changes but its result does not, and no
+//!   admissible job is ever starved.
+//!
+//! `tests/service_admission.rs` property-checks both invariants: the
+//! sum of admitted claims never exceeds the budget, and every
+//! admissible job is eventually admitted.
+
+use astra_pricing::Money;
+
+/// The shared resource envelope all in-flight jobs draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Maximum number of jobs holding admission at once.
+    pub max_in_flight: usize,
+    /// Total planned-cost budget the in-flight set may claim.
+    pub budget: Money,
+}
+
+impl Envelope {
+    /// An envelope that admits everything immediately: practically
+    /// unbounded slots and budget.
+    pub fn unbounded() -> Self {
+        Envelope {
+            max_in_flight: usize::MAX,
+            // Half of the representable range: headroom for arithmetic
+            // while still dwarfing any real claim.
+            budget: Money::from_nanos(i128::MAX / 2),
+        }
+    }
+}
+
+impl Default for Envelope {
+    fn default() -> Self {
+        Envelope::unbounded()
+    }
+}
+
+/// The three admission verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// The claim was debited; the job may run now.
+    Admit,
+    /// The job fits the envelope but not current occupancy; retry when
+    /// a slot or budget is released.
+    Defer,
+    /// The job can never fit this envelope; the reason says why.
+    Reject(String),
+}
+
+/// Tracks envelope occupancy. Not internally synchronized — the
+/// scheduler holds it under its own lock.
+#[derive(Debug)]
+pub struct AdmissionController {
+    envelope: Envelope,
+    in_flight: usize,
+    claimed: Money,
+}
+
+impl AdmissionController {
+    /// A controller with the whole envelope free.
+    pub fn new(envelope: Envelope) -> Self {
+        AdmissionController {
+            envelope,
+            in_flight: 0,
+            claimed: Money::ZERO,
+        }
+    }
+
+    /// The envelope this controller enforces.
+    pub fn envelope(&self) -> Envelope {
+        self.envelope
+    }
+
+    /// Jobs currently holding admission.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Planned cost currently claimed by in-flight jobs.
+    pub fn claimed(&self) -> Money {
+        self.claimed
+    }
+
+    /// State-independent feasibility: would this claim fit an *empty*
+    /// envelope? `Err` carries the rejection reason.
+    pub fn feasible(&self, claim: Money) -> Result<(), String> {
+        if self.envelope.max_in_flight == 0 {
+            return Err("envelope admits no jobs (max_in_flight = 0)".to_string());
+        }
+        if claim > self.envelope.budget {
+            return Err(format!(
+                "planned cost {} exceeds the admission budget {}",
+                claim, self.envelope.budget
+            ));
+        }
+        Ok(())
+    }
+
+    /// Decide without mutating: what would happen if the queue head
+    /// carried this claim?
+    pub fn decide(&self, claim: Money) -> Admission {
+        if let Err(reason) = self.feasible(claim) {
+            return Admission::Reject(reason);
+        }
+        if self.in_flight >= self.envelope.max_in_flight {
+            return Admission::Defer;
+        }
+        if self.claimed + claim > self.envelope.budget {
+            return Admission::Defer;
+        }
+        Admission::Admit
+    }
+
+    /// Decide and, on `Admit`, debit the claim.
+    pub fn admit(&mut self, claim: Money) -> Admission {
+        let verdict = self.decide(claim);
+        if verdict == Admission::Admit {
+            self.in_flight += 1;
+            self.claimed += claim;
+        }
+        verdict
+    }
+
+    /// Release a previously admitted claim.
+    ///
+    /// # Panics
+    /// If nothing is in flight — a release must pair with an admit.
+    pub fn release(&mut self, claim: Money) {
+        assert!(self.in_flight > 0, "release without a matching admit");
+        self.in_flight -= 1;
+        self.claimed -= claim;
+        assert!(
+            self.claimed >= Money::ZERO,
+            "released more budget than was claimed"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(slots: usize, dollars: f64) -> AdmissionController {
+        AdmissionController::new(Envelope {
+            max_in_flight: slots,
+            budget: Money::from_dollars_f64(dollars),
+        })
+    }
+
+    #[test]
+    fn admit_until_slots_run_out() {
+        let mut c = controller(2, 100.0);
+        assert_eq!(c.admit(Money::from_dollars_f64(1.0)), Admission::Admit);
+        assert_eq!(c.admit(Money::from_dollars_f64(1.0)), Admission::Admit);
+        assert_eq!(c.admit(Money::from_dollars_f64(1.0)), Admission::Defer);
+        c.release(Money::from_dollars_f64(1.0));
+        assert_eq!(c.admit(Money::from_dollars_f64(1.0)), Admission::Admit);
+    }
+
+    #[test]
+    fn admit_until_budget_runs_out() {
+        let mut c = controller(10, 5.0);
+        assert_eq!(c.admit(Money::from_dollars_f64(3.0)), Admission::Admit);
+        assert_eq!(c.admit(Money::from_dollars_f64(3.0)), Admission::Defer);
+        assert_eq!(c.admit(Money::from_dollars_f64(2.0)), Admission::Admit);
+        assert_eq!(c.claimed(), Money::from_dollars_f64(5.0));
+        c.release(Money::from_dollars_f64(3.0));
+        assert_eq!(c.admit(Money::from_dollars_f64(3.0)), Admission::Admit);
+    }
+
+    #[test]
+    fn oversized_claim_is_rejected_not_deferred() {
+        let mut c = controller(10, 5.0);
+        // Even with the envelope fully occupied, an oversized claim is a
+        // Reject — the verdict cannot depend on occupancy.
+        assert_eq!(c.admit(Money::from_dollars_f64(5.0)), Admission::Admit);
+        match c.decide(Money::from_dollars_f64(5.5)) {
+            Admission::Reject(reason) => assert!(reason.contains("exceeds"), "{reason}"),
+            other => panic!("expected Reject, got {other:?}"),
+        }
+        // A claim exactly at the budget is feasible (deferred, not rejected).
+        assert_eq!(c.decide(Money::from_dollars_f64(5.0)), Admission::Defer);
+    }
+
+    #[test]
+    fn zero_slot_envelope_rejects_everything() {
+        let c = controller(0, 100.0);
+        assert!(matches!(c.decide(Money::ZERO), Admission::Reject(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "release without a matching admit")]
+    fn unmatched_release_panics() {
+        controller(1, 1.0).release(Money::ZERO);
+    }
+}

@@ -1,0 +1,284 @@
+//! A bounded LRU of [`PlannerSession`]s shared by admission planning
+//! and the worker pool.
+//!
+//! A [`PlannerSession`] pays the Fig. 5 DAG construction and the
+//! backward-potential sweep once per `(job, space, platform, prices)`
+//! tuple; the service sees the same tuple repeatedly — admission plans
+//! a job at submit time, a worker re-plans it when it dispatches, and
+//! tenants resubmit identical specs with different objectives. Caching
+//! sessions turns all of those into label-search-speed queries.
+//!
+//! The key is a canonical fingerprint of every input that affects the
+//! session ([`SessionKey::for_inputs`]); two jobs share a session only
+//! if they would build bit-identical DAGs, so reuse can never change a
+//! result. Lookups are single-flight: the build runs under the cache
+//! lock, so concurrent workers asking for the same key produce one
+//! session, not several.
+//!
+//! Reuse is observable as `service.cache.hits` / `.misses` /
+//! `.evictions` counters and a `service.cache.entries` gauge.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use astra_core::{ConfigSpace, PlannerSession, PruneConfig, Strategy};
+use astra_model::{JobSpec, Platform};
+use astra_pricing::PriceCatalog;
+use astra_telemetry::Telemetry;
+
+/// Canonical fingerprint of everything a [`PlannerSession`] depends on.
+///
+/// Built from `Debug` renderings: Rust's `f64` Debug format is
+/// shortest-round-trip, so distinct inputs always produce distinct
+/// fingerprints, and equal inputs equal ones.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SessionKey(String);
+
+impl SessionKey {
+    /// Fingerprint the full session input tuple.
+    pub fn for_inputs(
+        job: &JobSpec,
+        space: &ConfigSpace,
+        platform: &Platform,
+        catalog: &PriceCatalog,
+        strategy: Strategy,
+        prune: PruneConfig,
+    ) -> Self {
+        SessionKey(format!(
+            "job={job:?}|space={space:?}|platform={platform:?}|catalog={catalog:?}|strategy={strategy:?}|prune={prune:?}"
+        ))
+    }
+
+    /// The fingerprint text (diagnostics only).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionCacheStats {
+    /// Lookups answered by an existing session.
+    pub hits: u64,
+    /// Lookups that had to build a session.
+    pub misses: u64,
+    /// Sessions evicted to stay within capacity.
+    pub evictions: u64,
+    /// Sessions currently resident.
+    pub entries: usize,
+}
+
+impl SessionCacheStats {
+    /// Hits over total lookups (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    session: Arc<PlannerSession>,
+    /// Last-touch stamp from the shared counter; smallest = LRU victim.
+    touched: u64,
+}
+
+struct CacheState {
+    entries: HashMap<SessionKey, Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The bounded LRU itself. Clone-cheap (`Arc` inside); all methods take
+/// `&self`.
+#[derive(Clone)]
+pub struct SessionCache {
+    state: Arc<Mutex<CacheState>>,
+    capacity: usize,
+    telemetry: Telemetry,
+}
+
+impl SessionCache {
+    /// A cache holding at most `capacity` sessions. Capacity 0 disables
+    /// retention entirely: every lookup builds and nothing is stored.
+    pub fn new(capacity: usize, telemetry: Telemetry) -> Self {
+        SessionCache {
+            state: Arc::new(Mutex::new(CacheState {
+                entries: HashMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            })),
+            capacity,
+            telemetry,
+        }
+    }
+
+    /// Maximum resident sessions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fetch the session for `key`, building it with `build` on a miss.
+    /// The build runs under the cache lock (single-flight).
+    pub fn get_or_build(
+        &self,
+        key: SessionKey,
+        build: impl FnOnce() -> PlannerSession,
+    ) -> (Arc<PlannerSession>, bool) {
+        let mut state = self.state.lock().unwrap();
+        state.clock += 1;
+        let stamp = state.clock;
+
+        if let Some(entry) = state.entries.get_mut(&key) {
+            entry.touched = stamp;
+            let session = Arc::clone(&entry.session);
+            state.hits += 1;
+            self.telemetry.counter("service.cache.hits", 1);
+            return (session, true);
+        }
+
+        state.misses += 1;
+        self.telemetry.counter("service.cache.misses", 1);
+        let session = Arc::new(build());
+
+        if self.capacity > 0 {
+            if state.entries.len() >= self.capacity {
+                // Smallest touch stamp is the least recently used; ties
+                // are impossible because stamps are unique.
+                if let Some(victim) = state
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.touched)
+                    .map(|(k, _)| k.clone())
+                {
+                    state.entries.remove(&victim);
+                    state.evictions += 1;
+                    self.telemetry.counter("service.cache.evictions", 1);
+                }
+            }
+            state.entries.insert(
+                key,
+                Entry {
+                    session: Arc::clone(&session),
+                    touched: stamp,
+                },
+            );
+        }
+        self.telemetry
+            .gauge("service.cache.entries", state.entries.len() as f64);
+        (session, false)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SessionCacheStats {
+        let state = self.state.lock().unwrap();
+        SessionCacheStats {
+            hits: state.hits,
+            misses: state.misses,
+            evictions: state.evictions,
+            entries: state.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_model::WorkloadProfile;
+
+    fn job(n: usize) -> JobSpec {
+        JobSpec::uniform(format!("cache-{n}"), n, 1.0, WorkloadProfile::uniform_test())
+    }
+
+    fn key_for(job: &JobSpec, platform: &Platform) -> SessionKey {
+        SessionKey::for_inputs(
+            job,
+            &ConfigSpace::with_tiers(job, platform, &[128, 512]),
+            platform,
+            &PriceCatalog::aws_2020(),
+            Strategy::ExactCsp,
+            PruneConfig::default(),
+        )
+    }
+
+    fn session_for(job: &JobSpec, platform: &Platform) -> PlannerSession {
+        PlannerSession::new(
+            job,
+            platform.clone(),
+            PriceCatalog::aws_2020(),
+            ConfigSpace::with_tiers(job, platform, &[128, 512]),
+            Strategy::ExactCsp,
+            PruneConfig::default(),
+        )
+    }
+
+    #[test]
+    fn same_key_hits_different_key_misses() {
+        let cache = SessionCache::new(4, Telemetry::disabled());
+        let platform = Platform::aws_lambda();
+        let (a, b) = (job(4), job(5));
+
+        let (_, hit) = cache.get_or_build(key_for(&a, &platform), || session_for(&a, &platform));
+        assert!(!hit);
+        let (_, hit) = cache.get_or_build(key_for(&a, &platform), || session_for(&a, &platform));
+        assert!(hit);
+        let (_, hit) = cache.get_or_build(key_for(&b, &platform), || session_for(&b, &platform));
+        assert!(!hit);
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_platforms_do_not_collide() {
+        let cache = SessionCache::new(4, Telemetry::disabled());
+        let j = job(4);
+        let lambda = Platform::aws_lambda();
+        let literal = Platform::paper_literal(10.0);
+        cache.get_or_build(key_for(&j, &lambda), || session_for(&j, &lambda));
+        let (_, hit) = cache.get_or_build(key_for(&j, &literal), || session_for(&j, &literal));
+        assert!(!hit, "different platforms must not share a session");
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let cache = SessionCache::new(2, Telemetry::disabled());
+        let platform = Platform::aws_lambda();
+        let (a, b, c) = (job(3), job(4), job(5));
+
+        cache.get_or_build(key_for(&a, &platform), || session_for(&a, &platform));
+        cache.get_or_build(key_for(&b, &platform), || session_for(&b, &platform));
+        // Touch `a` so `b` becomes the LRU victim.
+        let (_, hit) = cache.get_or_build(key_for(&a, &platform), || session_for(&a, &platform));
+        assert!(hit);
+        cache.get_or_build(key_for(&c, &platform), || session_for(&c, &platform));
+
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+        let (_, hit) = cache.get_or_build(key_for(&a, &platform), || session_for(&a, &platform));
+        assert!(hit, "recently touched entry must survive eviction");
+        let (_, hit) = cache.get_or_build(key_for(&b, &platform), || session_for(&b, &platform));
+        assert!(!hit, "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn zero_capacity_never_retains() {
+        let cache = SessionCache::new(0, Telemetry::disabled());
+        let platform = Platform::aws_lambda();
+        let j = job(4);
+        for _ in 0..3 {
+            let (_, hit) = cache.get_or_build(key_for(&j, &platform), || session_for(&j, &platform));
+            assert!(!hit);
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.entries), (3, 0));
+    }
+}

@@ -1,0 +1,654 @@
+//! The daemon: a worker pool over the scheduler, the job table, and
+//! the synchronous client handle.
+//!
+//! ## Submission path
+//!
+//! [`ServiceHandle::submit`] never fails — every outcome is a job id
+//! whose snapshot tells the story. The submitter thread validates the
+//! request, plans it once through the shared session cache (the
+//! *admission plan*, whose predicted cost becomes the job's envelope
+//! claim) and enqueues it; anything that goes wrong — invalid spec,
+//! infeasible objective, claim larger than the whole envelope, full
+//! queue, shutdown — lands the job in `Rejected` with a reason.
+//!
+//! ## Worker path
+//!
+//! Workers block in [`crate::scheduler::Scheduler::next`], then drive
+//! the job `Accepted → Planned → Simulating → Done` (skipping
+//! `Simulating` for plan-only requests). The worker re-plans through
+//! the same session cache the submitter warmed — a guaranteed cache
+//! hit in the steady state, which is why the service reports a non-zero
+//! `service.cache.hits` count after any batch. Replications fan out on
+//! a [`SimBatch`], whose results are bit-identical to a serial loop at
+//! any thread count; combined with the scheduler's FIFO dispatch this
+//! yields the service determinism contract (crate docs).
+//!
+//! A worker panic is caught per job and recorded as `Failed` — the
+//! claim is always released, so one poisoned job cannot wedge the
+//! envelope.
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use astra_core::{Astra, ConfigSpace, PruneConfig, Strategy};
+use astra_faas::{derive_seed, SimBatch, SimConfig};
+use astra_model::{JobSpec, Platform, WorkloadProfile};
+use astra_pricing::PriceCatalog;
+use astra_telemetry::{wall_clock_ns, Telemetry};
+
+use crate::admission::Envelope;
+use crate::cache::{SessionCache, SessionCacheStats, SessionKey};
+use crate::scheduler::Scheduler;
+use crate::types::{
+    FrontierPoint, JobId, JobRequest, JobSnapshot, JobStatus, PlanOutcome, SimOutcome,
+};
+use crate::wire;
+
+/// Everything a daemon is configured with. The planner quadruple
+/// (platform, catalog, strategy, prune) is fixed per daemon — it is
+/// part of every session-cache key, and keeping it daemon-wide is what
+/// lets jobs share sessions at all.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Worker threads driving job lifecycles.
+    pub workers: usize,
+    /// Bounded submission-queue length; submissions beyond it are
+    /// rejected (never silently dropped).
+    pub queue_capacity: usize,
+    /// Maximum resident [`crate::cache::SessionCache`] sessions.
+    pub cache_capacity: usize,
+    /// Shared concurrency/budget envelope (see [`crate::admission`]).
+    pub envelope: Envelope,
+    /// Platform every job is planned and simulated against.
+    pub platform: Platform,
+    /// Price catalog in effect.
+    pub catalog: PriceCatalog,
+    /// Solver strategy.
+    pub strategy: Strategy,
+    /// Dominance-pruning configuration.
+    pub prune: PruneConfig,
+    /// Telemetry handle; defaults to a snapshot of the process-global
+    /// one, so a binary that installed a recorder gets `service.*`
+    /// spans and counters with no extra plumbing.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 1024,
+            cache_capacity: 32,
+            envelope: Envelope::unbounded(),
+            platform: Platform::aws_lambda(),
+            catalog: PriceCatalog::aws_2020(),
+            strategy: Strategy::default(),
+            prune: PruneConfig::default(),
+            telemetry: astra_telemetry::global(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Override the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Override the admission envelope.
+    pub fn with_envelope(mut self, envelope: Envelope) -> Self {
+        self.envelope = envelope;
+        self
+    }
+
+    /// Override the telemetry handle.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
+struct JobTable {
+    next_id: JobId,
+    jobs: HashMap<JobId, JobSnapshot>,
+}
+
+struct Inner {
+    astra: Astra,
+    platform: Platform,
+    catalog: PriceCatalog,
+    scheduler: Scheduler,
+    cache: SessionCache,
+    telemetry: Telemetry,
+    table: Mutex<JobTable>,
+    job_changed: Condvar,
+}
+
+impl Inner {
+    /// Insert a fresh `Accepted` record and return its id.
+    fn register(&self, request: JobRequest) -> JobId {
+        let mut table = self.table.lock().unwrap();
+        table.next_id += 1;
+        let id = table.next_id;
+        table.jobs.insert(
+            id,
+            JobSnapshot {
+                id,
+                request,
+                status: JobStatus::Accepted,
+                history: vec![(JobStatus::Accepted, wall_clock_ns())],
+                reason: None,
+                plan: None,
+                sim: None,
+                metrics: Default::default(),
+                session_cache_hit: false,
+            },
+        );
+        id
+    }
+
+    /// Take a lifecycle edge, asserting it is legal, stamping the
+    /// history, and waking `await_done` waiters on terminal states.
+    fn transition(&self, id: JobId, to: JobStatus, mutate: impl FnOnce(&mut JobSnapshot)) {
+        let mut table = self.table.lock().unwrap();
+        let snap = table.jobs.get_mut(&id).expect("transition on unknown job");
+        assert!(
+            snap.status.can_transition_to(to),
+            "illegal lifecycle edge {} -> {to} (job {id})",
+            snap.status
+        );
+        let now = wall_clock_ns();
+        snap.status = to;
+        snap.history.push((to, now));
+        mutate(snap);
+        if to.is_terminal() {
+            snap.metrics.total_ns = now.saturating_sub(snap.history[0].1);
+            self.job_changed.notify_all();
+        }
+    }
+
+    fn reject(&self, id: JobId, reason: String) {
+        self.telemetry.counter("service.rejected", 1);
+        self.transition(id, JobStatus::Rejected, |snap| snap.reason = Some(reason));
+    }
+
+    /// Record a post-admission failure, from whatever non-terminal
+    /// state the job is in.
+    fn fail(&self, id: JobId, reason: String) {
+        let already_terminal = {
+            let table = self.table.lock().unwrap();
+            table.jobs.get(&id).map(|s| s.is_terminal()).unwrap_or(true)
+        };
+        if already_terminal {
+            return;
+        }
+        self.telemetry.counter("service.failed", 1);
+        self.transition(id, JobStatus::Failed, |snap| snap.reason = Some(reason));
+    }
+
+    /// The session-cache key and space for a job under this daemon's
+    /// planner quadruple.
+    fn session_key(&self, job: &JobSpec) -> (ConfigSpace, SessionKey) {
+        let space = ConfigSpace::full(job, &self.platform);
+        let key = SessionKey::for_inputs(
+            job,
+            &space,
+            &self.platform,
+            &self.catalog,
+            self.astra.strategy(),
+            self.astra.prune_config(),
+        );
+        (space, key)
+    }
+
+    /// Plan `job` under this daemon's configuration through the shared
+    /// session cache. Returns the plan and whether the cache hit.
+    fn plan_cached(
+        &self,
+        job: &JobSpec,
+        objective: astra_core::Objective,
+    ) -> (Result<astra_core::Plan, astra_core::PlanError>, bool) {
+        let (space, key) = self.session_key(job);
+        let (session, hit) = self
+            .cache
+            .get_or_build(key, || self.astra.session_with_space(job, &space));
+        (session.plan(objective), hit)
+    }
+
+    /// The whole per-job worker path; `Err` is a failure reason.
+    fn run_job(&self, id: JobId) -> Result<(), String> {
+        let (request, accepted_ns) = {
+            let table = self.table.lock().unwrap();
+            let snap = table.jobs.get(&id).expect("dispatched unknown job");
+            (snap.request.clone(), snap.history[0].1)
+        };
+        let _span = self.telemetry.wall_span("service", "service.job", "service");
+        let picked_up = wall_clock_ns();
+
+        let (planned, hit) = self.plan_cached(&request.job, request.objective);
+        // Admission already planned this exact request successfully;
+        // planning is deterministic, so failure here is a real bug.
+        let plan = planned.map_err(|e| format!("re-plan after admission failed: {e}"))?;
+        let plan_ns = wall_clock_ns().saturating_sub(picked_up);
+        let outcome = PlanOutcome {
+            spec: plan.spec.clone(),
+            predicted_jct_s: plan.predicted_jct_s(),
+            predicted_cost: plan.predicted_cost(),
+            summary: plan.summary(),
+        };
+        self.telemetry.counter("service.planned", 1);
+        self.transition(id, JobStatus::Planned, |snap| {
+            snap.plan = Some(outcome);
+            snap.session_cache_hit |= hit;
+            snap.metrics.queue_wait_ns = picked_up.saturating_sub(accepted_ns);
+            snap.metrics.plan_ns = plan_ns;
+        });
+
+        if request.sim.replications == 0 {
+            self.telemetry.counter("service.completed", 1);
+            self.transition(id, JobStatus::Done, |_| {});
+            return Ok(());
+        }
+
+        self.transition(id, JobStatus::Simulating, |_| {});
+        let sim_started = wall_clock_ns();
+        let compiled = astra_mapreduce::compile(&request.job, &plan);
+        let mut batch = SimBatch::with_capacity(request.sim.replications as usize);
+        for rep in 0..request.sim.replications as u64 {
+            let config = SimConfig::deterministic(self.platform.clone())
+                .with_catalog(self.catalog)
+                .with_noise(request.sim.noise_cv, derive_seed(request.sim.seed, rep))
+                .with_telemetry(self.telemetry.clone());
+            batch.push(config, compiled.roots.clone(), compiled.inputs.clone());
+        }
+        let mut sim = SimOutcome::default();
+        for report in batch.run() {
+            let report = report.map_err(|e| format!("simulation failed: {e}"))?;
+            sim.jct_s.push(report.jct_s());
+            sim.cost.push(report.total_cost());
+            sim.events.push(report.events);
+        }
+        let sim_ns = wall_clock_ns().saturating_sub(sim_started);
+        self.telemetry.counter("service.completed", 1);
+        self.transition(id, JobStatus::Done, |snap| {
+            snap.sim = Some(sim);
+            snap.metrics.sim_ns = sim_ns;
+        });
+        Ok(())
+    }
+
+    fn jobs_sorted(&self) -> Vec<JobSnapshot> {
+        let table = self.table.lock().unwrap();
+        let mut jobs: Vec<JobSnapshot> = table.jobs.values().cloned().collect();
+        jobs.sort_by_key(|s| s.id);
+        jobs
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    while let Some(queued) = inner.scheduler.next() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| inner.run_job(queued.id)));
+        match result {
+            Ok(Ok(())) => {}
+            Ok(Err(reason)) => inner.fail(queued.id, reason),
+            Err(payload) => {
+                let reason = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "worker panicked".to_string());
+                inner.fail(queued.id, format!("worker panicked: {reason}"));
+            }
+        }
+        // Unconditionally: a held claim must never outlive its job.
+        inner.scheduler.complete(queued.claim);
+    }
+}
+
+/// The running daemon: owns the worker threads. Dropping it (or calling
+/// [`ServiceDaemon::shutdown`]) closes the queue, drains queued jobs
+/// and joins the pool.
+pub struct ServiceDaemon {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServiceDaemon {
+    /// Start a daemon: spin up the worker pool against a fresh queue,
+    /// job table and session cache.
+    ///
+    /// # Panics
+    /// If `config.workers` is 0 — a poolless daemon would accept jobs
+    /// and never run them.
+    pub fn start(config: ServiceConfig) -> ServiceDaemon {
+        assert!(config.workers > 0, "a daemon needs at least one worker");
+        let astra = Astra::new(
+            config.platform.clone(),
+            config.catalog,
+            config.strategy,
+        )
+        .with_prune_config(config.prune)
+        .with_telemetry(config.telemetry.clone());
+        let inner = Arc::new(Inner {
+            astra,
+            platform: config.platform,
+            catalog: config.catalog,
+            scheduler: Scheduler::new(config.queue_capacity, config.envelope),
+            cache: SessionCache::new(config.cache_capacity, config.telemetry.clone()),
+            telemetry: config.telemetry,
+            table: Mutex::new(JobTable {
+                next_id: 0,
+                jobs: HashMap::new(),
+            }),
+            job_changed: Condvar::new(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("astra-service-worker-{i}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        ServiceDaemon { inner, workers }
+    }
+
+    /// A clonable client handle onto this daemon.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Stop accepting submissions, drain every queued job to a terminal
+    /// state, join the workers, and return all job records in id order.
+    pub fn shutdown(mut self) -> Vec<JobSnapshot> {
+        self.close_and_join();
+        self.inner.jobs_sorted()
+    }
+
+    fn close_and_join(&mut self) {
+        self.inner.scheduler.close();
+        for handle in self.workers.drain(..) {
+            // Worker panics are caught per job; a join error here means
+            // the loop itself died, and shutdown should still proceed.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServiceDaemon {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// Synchronous client handle: submit jobs, poll status, block on
+/// completion, ask frontier questions. Clone freely — handles share the
+/// daemon.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    inner: Arc<Inner>,
+}
+
+impl ServiceHandle {
+    /// Submit a job. Infallible by design: the returned id's snapshot
+    /// carries the outcome, with every refusal an explicit `Rejected`
+    /// reason. The admission plan runs on the submitter thread, through
+    /// the shared session cache.
+    pub fn submit(&self, request: JobRequest) -> JobId {
+        let _span = self
+            .inner
+            .telemetry
+            .wall_span("service", "service.submit", "service");
+        self.inner.telemetry.counter("service.submitted", 1);
+        let id = self.inner.register(request.clone());
+        if let Err(reason) = request.validate() {
+            self.inner.reject(id, reason);
+            return id;
+        }
+        // The model layer asserts on inputs validate() vouched for; a
+        // panic past this point is a validation gap, answered as a
+        // rejection rather than a dead submitter thread.
+        let admission = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.inner.plan_cached(&request.job, request.objective)
+        }));
+        let (planned, hit) = match admission {
+            Ok(result) => result,
+            Err(_) => {
+                self.inner
+                    .reject(id, "request failed admission planning".to_string());
+                return id;
+            }
+        };
+        {
+            let mut table = self.inner.table.lock().unwrap();
+            if let Some(snap) = table.jobs.get_mut(&id) {
+                snap.session_cache_hit |= hit;
+            }
+        }
+        let plan = match planned {
+            Ok(plan) => plan,
+            Err(e) => {
+                self.inner.reject(id, e.to_string());
+                return id;
+            }
+        };
+        if let Err(reason) = self.inner.scheduler.submit(id, plan.predicted_cost()) {
+            self.inner.reject(id, reason);
+        }
+        id
+    }
+
+    /// Parse a JSON request body and submit it. Parse and validation
+    /// failures still get a job id whose snapshot is `Rejected` with
+    /// the wire error as reason (the request field holds a placeholder).
+    pub fn submit_json(&self, body: &str) -> JobId {
+        match wire::job_request_from_str(body) {
+            Ok(request) => self.submit(request),
+            Err(e) => {
+                self.inner.telemetry.counter("service.submitted", 1);
+                let placeholder = JobRequest::new(
+                    "<unparsed>",
+                    JobSpec::uniform("<unparsed>", 1, 1.0, WorkloadProfile::uniform_test()),
+                    astra_core::Objective::cheapest(),
+                );
+                let id = self.inner.register(placeholder);
+                self.inner.reject(id, e.to_string());
+                id
+            }
+        }
+    }
+
+    /// A point-in-time copy of one job's record.
+    pub fn status(&self, id: JobId) -> Option<JobSnapshot> {
+        self.inner.table.lock().unwrap().jobs.get(&id).cloned()
+    }
+
+    /// Block until the job reaches a terminal state; returns its final
+    /// snapshot (`None` for an unknown id).
+    pub fn await_done(&self, id: JobId) -> Option<JobSnapshot> {
+        let mut table = self.inner.table.lock().unwrap();
+        loop {
+            match table.jobs.get(&id) {
+                None => return None,
+                Some(snap) if snap.is_terminal() => return Some(snap.clone()),
+                Some(_) => table = self.inner.job_changed.wait(table).unwrap(),
+            }
+        }
+    }
+
+    /// Walk the cost–performance Pareto frontier for a job spec,
+    /// through the shared session cache (so a frontier question about a
+    /// job the daemon has planned costs label searches only).
+    pub fn frontier(&self, job: &JobSpec, points: usize) -> Result<Vec<FrontierPoint>, String> {
+        let _span = self
+            .inner
+            .telemetry
+            .wall_span("service", "service.frontier", "service");
+        let (space, key) = self.inner.session_key(job);
+        let (session, _) = self
+            .inner
+            .cache
+            .get_or_build(key, || self.inner.astra.session_with_space(job, &space));
+        session
+            .pareto_frontier(points)
+            .map(|plans| {
+                plans
+                    .iter()
+                    .map(|p| FrontierPoint {
+                        cost: p.predicted_cost(),
+                        jct_s: p.predicted_jct_s(),
+                        summary: p.summary(),
+                    })
+                    .collect()
+            })
+            .map_err(|e| e.to_string())
+    }
+
+    /// All job records so far, in id order.
+    pub fn jobs(&self) -> Vec<JobSnapshot> {
+        self.inner.jobs_sorted()
+    }
+
+    /// Session-cache statistics (hits / misses / evictions / residency).
+    pub fn cache_stats(&self) -> SessionCacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Jobs waiting in the submission queue right now.
+    pub fn queue_len(&self) -> usize {
+        self.inner.scheduler.queue_len()
+    }
+
+    /// Jobs currently holding envelope admission.
+    pub fn in_flight(&self) -> usize {
+        self.inner.scheduler.in_flight()
+    }
+
+    /// The admission envelope in force.
+    pub fn envelope(&self) -> Envelope {
+        self.inner.scheduler.envelope()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_core::Objective;
+
+    fn request(n: usize) -> JobRequest {
+        JobRequest::new(
+            format!("daemon-{n}"),
+            JobSpec::uniform(format!("daemon-{n}"), n, 1.0, WorkloadProfile::uniform_test()),
+            Objective::min_time_with_budget_dollars(5.0),
+        )
+    }
+
+    fn small_config() -> ServiceConfig {
+        ServiceConfig {
+            platform: Platform::paper_literal(10.0),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn a_job_runs_to_done() {
+        let daemon = ServiceDaemon::start(small_config());
+        let handle = daemon.handle();
+        let id = handle.submit(request(4));
+        let snap = handle.await_done(id).unwrap();
+        assert_eq!(snap.status, JobStatus::Done);
+        snap.check_history().unwrap();
+        assert!(snap.plan.is_some());
+        let sim = snap.sim.as_ref().unwrap();
+        assert_eq!(sim.jct_s.len(), 1);
+        assert!(sim.jct_s[0] > 0.0);
+        assert!(snap.metrics.total_ns > 0);
+    }
+
+    #[test]
+    fn plan_only_requests_skip_simulating() {
+        let daemon = ServiceDaemon::start(small_config());
+        let handle = daemon.handle();
+        let id = handle.submit(request(4).with_sim(crate::types::SimOptions {
+            replications: 0,
+            ..Default::default()
+        }));
+        let snap = handle.await_done(id).unwrap();
+        assert_eq!(snap.status, JobStatus::Done);
+        assert!(snap.sim.is_none());
+        assert!(!snap.history.iter().any(|&(s, _)| s == JobStatus::Simulating));
+        snap.check_history().unwrap();
+    }
+
+    #[test]
+    fn invalid_and_infeasible_requests_are_rejected_with_reasons() {
+        let daemon = ServiceDaemon::start(small_config());
+        let handle = daemon.handle();
+
+        let mut bad = request(4);
+        bad.job.object_sizes_mb[0] = -3.0;
+        let id = handle.submit(bad);
+        let snap = handle.await_done(id).unwrap();
+        assert_eq!(snap.status, JobStatus::Rejected);
+        assert!(snap.reason.as_ref().unwrap().contains("invalid size"));
+        snap.check_history().unwrap();
+
+        let mut hopeless = request(4);
+        hopeless.objective = Objective::MinimizeTime {
+            budget: astra_pricing::Money::from_nanos(1),
+        };
+        let id = handle.submit(hopeless);
+        let snap = handle.await_done(id).unwrap();
+        assert_eq!(snap.status, JobStatus::Rejected);
+        assert!(snap.reason.as_ref().unwrap().contains("no configuration"));
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_and_rejects_late_submissions() {
+        let daemon = ServiceDaemon::start(small_config().with_workers(1));
+        let handle = daemon.handle();
+        let ids: Vec<JobId> = (0..4).map(|i| handle.submit(request(3 + i))).collect();
+        let snapshots = daemon.shutdown();
+        assert_eq!(snapshots.len(), 4);
+        for id in ids {
+            let snap = snapshots.iter().find(|s| s.id == id).unwrap();
+            assert_eq!(snap.status, JobStatus::Done, "job {id} not drained");
+        }
+        let late = handle.submit(request(4));
+        let snap = handle.await_done(late).unwrap();
+        assert_eq!(snap.status, JobStatus::Rejected);
+        assert!(snap.reason.as_ref().unwrap().contains("shutting down"));
+    }
+
+    #[test]
+    fn worker_replans_hit_the_session_cache() {
+        let daemon = ServiceDaemon::start(small_config());
+        let handle = daemon.handle();
+        let id = handle.submit(request(4));
+        let snap = handle.await_done(id).unwrap();
+        assert_eq!(snap.status, JobStatus::Done);
+        // Admission planning missed (cold cache); the worker re-plan hit.
+        assert!(snap.session_cache_hit);
+        let stats = handle.cache_stats();
+        assert!(stats.hits >= 1, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn frontier_answers_through_the_cache() {
+        let daemon = ServiceDaemon::start(small_config());
+        let handle = daemon.handle();
+        let job = request(6).job;
+        let frontier = handle.frontier(&job, 6).unwrap();
+        assert!(frontier.len() >= 2);
+        for pair in frontier.windows(2) {
+            assert!(pair[1].cost >= pair[0].cost);
+            assert!(pair[1].jct_s <= pair[0].jct_s + 1e-9);
+        }
+    }
+}

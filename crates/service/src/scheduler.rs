@@ -1,0 +1,227 @@
+//! The bounded submission queue and the envelope-gated FIFO dispatch
+//! that the worker pool pulls from.
+//!
+//! One mutex guards the whole scheduler state (queue + admission
+//! occupancy); one condvar wakes workers when either changes. The
+//! discipline is strict FIFO with *head gating*: workers only ever
+//! dispatch the queue head, and a head whose claim the envelope defers
+//! blocks every job behind it until capacity frees up. That costs some
+//! utilization versus letting small jobs overtake, but it buys the two
+//! properties the service promises:
+//!
+//! * **no starvation** — the head cannot be overtaken, and every
+//!   admitted job eventually releases its claim, so every admissible
+//!   job is eventually dispatched;
+//! * **determinism** — dispatch *order* is the submission order,
+//!   regardless of worker count or timing (which worker runs a job is
+//!   racy; that a job runs, and with what inputs, is not).
+//!
+//! Submission failures (queue full, envelope-infeasible claim,
+//! shutting down) are returned to the submitter as reasons; the daemon
+//! maps them onto the `Rejected` terminal state.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use astra_pricing::Money;
+
+use crate::admission::{Admission, AdmissionController, Envelope};
+use crate::types::JobId;
+
+/// A queue entry: the job id plus the admission claim its planned cost
+/// debits from the envelope while it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedJob {
+    /// The job to run.
+    pub id: JobId,
+    /// Planned-cost claim held until [`Scheduler::complete`].
+    pub claim: Money,
+}
+
+struct SchedState {
+    queue: VecDeque<QueuedJob>,
+    admission: AdmissionController,
+    closed: bool,
+}
+
+/// The submission queue + admission gate (see module docs).
+pub struct Scheduler {
+    state: Mutex<SchedState>,
+    wakeup: Condvar,
+    capacity: usize,
+}
+
+impl Scheduler {
+    /// A scheduler with a bounded queue and a fresh envelope.
+    pub fn new(queue_capacity: usize, envelope: Envelope) -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                admission: AdmissionController::new(envelope),
+                closed: false,
+            }),
+            wakeup: Condvar::new(),
+            capacity: queue_capacity,
+        }
+    }
+
+    /// Enqueue a job. `Err` carries the rejection reason: the queue is
+    /// full, the claim can never fit the envelope, or the scheduler is
+    /// shutting down. All three checks are independent of what is
+    /// currently running, so the verdict is deterministic in submission
+    /// order.
+    pub fn submit(&self, id: JobId, claim: Money) -> Result<(), String> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err("service is shutting down".to_string());
+        }
+        state.admission.feasible(claim)?;
+        if state.queue.len() >= self.capacity {
+            return Err(format!(
+                "submission queue is full ({} pending)",
+                self.capacity
+            ));
+        }
+        state.queue.push_back(QueuedJob { id, claim });
+        self.wakeup.notify_all();
+        Ok(())
+    }
+
+    /// Block until the queue head is admitted, then dispatch it (its
+    /// claim debited). Returns `None` once the scheduler is closed and
+    /// the queue has drained — the worker's signal to exit.
+    pub fn next(&self) -> Option<QueuedJob> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(&head) = state.queue.front() {
+                match state.admission.admit(head.claim) {
+                    Admission::Admit => {
+                        state.queue.pop_front();
+                        return Some(head);
+                    }
+                    // Head gating: wait for a release, never look past
+                    // the head. Reject is unreachable — feasibility was
+                    // checked at submit and is occupancy-independent.
+                    Admission::Defer => {}
+                    Admission::Reject(reason) => {
+                        unreachable!("infeasible claim reached the queue: {reason}")
+                    }
+                }
+            } else if state.closed {
+                return None;
+            }
+            state = self.wakeup.wait(state).unwrap();
+        }
+    }
+
+    /// Release a dispatched job's claim and wake deferred workers.
+    pub fn complete(&self, claim: Money) {
+        let mut state = self.state.lock().unwrap();
+        state.admission.release(claim);
+        self.wakeup.notify_all();
+    }
+
+    /// Refuse new submissions; queued jobs still drain. Workers exit
+    /// from [`Scheduler::next`] once the queue is empty.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        self.wakeup.notify_all();
+    }
+
+    /// Jobs waiting in the queue right now.
+    pub fn queue_len(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    /// Jobs currently holding admission.
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().unwrap().admission.in_flight()
+    }
+
+    /// The envelope being enforced.
+    pub fn envelope(&self) -> Envelope {
+        self.state.lock().unwrap().admission.envelope()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn dollars(d: f64) -> Money {
+        Money::from_dollars_f64(d)
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let sched = Scheduler::new(8, Envelope::unbounded());
+        for id in 0..5 {
+            sched.submit(id, dollars(0.1)).unwrap();
+        }
+        sched.close();
+        let mut order = Vec::new();
+        while let Some(job) = sched.next() {
+            order.push(job.id);
+            sched.complete(job.claim);
+        }
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_reason() {
+        let sched = Scheduler::new(2, Envelope::unbounded());
+        sched.submit(0, Money::ZERO).unwrap();
+        sched.submit(1, Money::ZERO).unwrap();
+        let reason = sched.submit(2, Money::ZERO).unwrap_err();
+        assert!(reason.contains("queue is full"), "{reason}");
+    }
+
+    #[test]
+    fn infeasible_claim_rejected_at_submit() {
+        let sched = Scheduler::new(8, Envelope {
+            max_in_flight: 4,
+            budget: dollars(1.0),
+        });
+        let reason = sched.submit(0, dollars(2.0)).unwrap_err();
+        assert!(reason.contains("exceeds"), "{reason}");
+        assert_eq!(sched.queue_len(), 0);
+    }
+
+    #[test]
+    fn closed_scheduler_rejects_submissions_but_drains() {
+        let sched = Scheduler::new(8, Envelope::unbounded());
+        sched.submit(0, Money::ZERO).unwrap();
+        sched.close();
+        assert!(sched.submit(1, Money::ZERO).unwrap_err().contains("shutting down"));
+        assert_eq!(sched.next().unwrap().id, 0);
+        sched.complete(Money::ZERO);
+        assert!(sched.next().is_none());
+    }
+
+    #[test]
+    fn deferred_head_blocks_until_release() {
+        let sched = Arc::new(Scheduler::new(8, Envelope {
+            max_in_flight: 1,
+            budget: dollars(10.0),
+        }));
+        sched.submit(0, dollars(1.0)).unwrap();
+        sched.submit(1, dollars(1.0)).unwrap();
+
+        let first = sched.next().unwrap();
+        assert_eq!(first.id, 0);
+
+        // Job 1 is head-gated on the single slot; a worker thread
+        // blocks in next() until job 0 completes.
+        let worker = {
+            let sched = Arc::clone(&sched);
+            std::thread::spawn(move || sched.next().map(|j| j.id))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!worker.is_finished(), "head must be deferred while the slot is held");
+
+        sched.complete(first.claim);
+        assert_eq!(worker.join().unwrap(), Some(1));
+    }
+}

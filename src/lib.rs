@@ -24,6 +24,7 @@ pub use astra_graph as graph;
 pub use astra_mapreduce as mapreduce;
 pub use astra_model as model;
 pub use astra_pricing as pricing;
+pub use astra_service as service;
 pub use astra_simcore as simcore;
 pub use astra_storage as storage;
 pub use astra_telemetry as telemetry;
