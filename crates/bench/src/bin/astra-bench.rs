@@ -6,7 +6,9 @@
 //! solve (plain and potential-guided), the 16-bound session sweep
 //! (cold rebuilds vs one reused `PlannerSession`), and the exhaustive
 //! sweep (serial and parallel) — at fixed sizes including the
-//! paper-scale N=202 / L=46 case, and emits a machine-readable
+//! paper-scale N=202 / L=46 case, plus the production-scale collapsed
+//! entries (`dag_build_collapsed/N1e5`, `solve_csp_collapsed/N1e5`,
+//! run at every size setting), and emits a machine-readable
 //! `BENCH_planner.json`.
 //!
 //! ```text
@@ -29,7 +31,7 @@
 //! and the `session_sweep_*` pair.
 
 use astra_bench::runner::{run_cli, time_ms, BenchArgs};
-use astra_bench::{binding_budget, full_space, planner, synthetic_job};
+use astra_bench::{binding_budget, full_space, planner, production_job, synthetic_job};
 use astra_core::solver::{solve_exhaustive, solve_exhaustive_serial, solve_on_dag};
 use astra_core::{ConfigSpace, Objective, PlannerDag, PlannerPotentials, PruneConfig, Strategy};
 use serde_json::{json, Value};
@@ -228,6 +230,69 @@ fn run_suite(args: &BenchArgs) -> Value {
             "parallel_ms": warm_min,
             "speedup": cold_min / warm_min,
         }));
+    }
+
+    // Production-N planning: the bundled (collapsed) configuration
+    // space at N=100 000, on the aggregation-shaped production job
+    // (`uniform_test`'s ratio-1.0 profile is infeasible at this N).
+    // The full Fig. 5 space is quadratic in N and
+    // hopeless at this scale; the collapsed space keeps one
+    // representative k_M per parallelism class and a geometric k_R
+    // ladder, so the whole build + potentials + guided-CSP cycle is
+    // the thing the <1 s acceptance budget gates. Runs under every
+    // `--sizes` setting — sub-second at production N is the point.
+    {
+        let n = 100_000;
+        let job = production_job(n);
+        let space = ConfigSpace::bundled(&job, astra.platform());
+        let tiers = space.memory_tiers_mb.len();
+        let samples = args.samples.min(3);
+        let (cb_mean, cb_min) = time_ms(samples, || {
+            PlannerDag::build_with(&job, astra.platform(), astra.catalog(), &space, prune)
+        });
+        push(
+            &mut results,
+            "dag_build_collapsed/N1e5".to_string(),
+            n,
+            tiers,
+            cb_mean,
+            cb_min,
+        );
+        let dag = PlannerDag::build_with(&job, astra.platform(), astra.catalog(), &space, prune);
+        let objective = {
+            let cheapest = astra
+                .plan_with_space(&job, Objective::cheapest(), &space)
+                .unwrap();
+            let fastest = astra
+                .plan_with_space(&job, Objective::fastest(), &space)
+                .unwrap();
+            let lo = cheapest.predicted_cost().nanos();
+            let hi = fastest.predicted_cost().nanos();
+            Objective::MinimizeTime {
+                budget: astra_pricing::Money::from_nanos((lo + hi) / 2),
+            }
+        };
+        let tel = astra_telemetry::Telemetry::disabled();
+        // Potentials are timed inside the solve entry: a cold
+        // constrained solve always pays for its own lower bounds.
+        let (cs_mean, cs_min) = time_ms(samples, || {
+            let potentials = PlannerPotentials::compute(&dag);
+            astra_core::solve_on_dag_with_potentials(
+                &dag,
+                &potentials,
+                objective,
+                Strategy::ExactCsp,
+                &tel,
+            )
+        });
+        push(
+            &mut results,
+            "solve_csp_collapsed/N1e5".to_string(),
+            n,
+            tiers,
+            cs_mean,
+            cs_min,
+        );
     }
 
     // Exhaustive sweep on a reduced tier set (the full 46-tier cube is

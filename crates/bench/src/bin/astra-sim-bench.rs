@@ -136,19 +136,29 @@ fn run_suite(args: &BenchArgs) -> Value {
                 .collect();
             simulate_batch(cases).len()
         });
-        eprintln!("bench sweep_parallel/N{n}: mean {par_mean:.2} ms, min {par_min:.2} ms");
+        // The effective worker count for this sweep: however many
+        // threads rayon resolved to (after any `--threads` pin), capped
+        // by the case count. Stamped on the entry so `--check` only
+        // compares parallel timings recorded at the same fan-out.
+        let threads_effective = rayon::current_num_threads().min(SWEEP_RUNS as usize);
+        eprintln!(
+            "bench sweep_parallel/N{n}: mean {par_mean:.2} ms, min {par_min:.2} ms \
+             ({threads_effective} threads)"
+        );
         results.push(json!({
             "name": format!("sweep_parallel/N{n}"),
             "n": n,
             "runs": SWEEP_RUNS,
             "mean_ms": par_mean,
             "min_ms": par_min,
+            "threads": threads_effective,
         }));
         speedups.push(json!({
             "name": format!("sweep/N{n}"),
             "serial_ms": serial_min,
             "parallel_ms": par_min,
             "speedup": serial_min / par_min,
+            "threads": threads_effective,
         }));
 
         // Service-daemon throughput: the same job submitted SWEEP_RUNS

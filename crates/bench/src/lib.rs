@@ -34,6 +34,28 @@ pub fn synthetic_job(n: usize) -> JobSpec {
     JobSpec::uniform("bench", n, 4.0, WorkloadProfile::uniform_test())
 }
 
+/// A production-scale analytics job: `n` small objects with an
+/// aggregation-shaped profile (light per-MB compute, strong per-step
+/// data reduction). The featureless `uniform_test` profile is
+/// deliberately infeasible at N=10^5 on the stock AWS platform — with
+/// `reduce_ratio` 1.0 the final reducer alone digests the whole input
+/// and blows the Lambda timeout — so production-N planning benches and
+/// tests use this shape instead, where mid-range configurations are
+/// feasible and the planner has real work to do.
+pub fn production_job(n: usize) -> JobSpec {
+    let profile = WorkloadProfile {
+        name: "aggregation".to_string(),
+        map_secs_per_mb_128: 0.05,
+        reduce_secs_per_mb_128: 0.05,
+        coord_secs_per_mb_128: 0.001,
+        shuffle_ratio: 0.2,
+        reduce_ratio: 0.05,
+        state_object_mb: 1.0,
+        single_pass_reduce: false,
+    };
+    JobSpec::uniform("bench-prod", n, 1.0, profile)
+}
+
 /// A binding budget objective for `job` (midpoint of the cost range).
 pub fn binding_budget(astra: &Astra, job: &JobSpec) -> Objective {
     let cheapest = astra.plan(job, Objective::cheapest()).unwrap();

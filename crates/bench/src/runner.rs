@@ -101,26 +101,65 @@ pub fn time_ms<O>(samples: usize, mut f: impl FnMut() -> O) -> (f64, f64) {
 
 /// Compare `current` against `baseline` on `min_ms` per shared bench
 /// name; returns the regressions found.
+///
+/// Entries stamped with a `threads` field (the parallel-sweep benches)
+/// are compared only when both sides ran at the same worker count — a
+/// baseline recorded on an 8-core box says nothing about a 1-thread CI
+/// run's parallel timings. Likewise, `speedups` entries (higher is
+/// better) gate only between reports whose top-level `threads` match.
 pub fn regressions(current: &Value, baseline: &Value, tolerance: f64) -> Vec<String> {
     let empty = Vec::new();
-    let base: Vec<(&str, f64)> = baseline["results"]
+    let base: Vec<(&str, &Value)> = baseline["results"]
         .as_array()
         .unwrap_or(&empty)
         .iter()
-        .filter_map(|r| Some((r["name"].as_str()?, r["min_ms"].as_f64()?)))
+        .filter_map(|r| Some((r["name"].as_str()?, r)))
         .collect();
     let mut out = Vec::new();
     for r in current["results"].as_array().unwrap_or(&empty) {
         let (Some(name), Some(min)) = (r["name"].as_str(), r["min_ms"].as_f64()) else {
             continue;
         };
-        if let Some(&(_, base_min)) = base.iter().find(|(b, _)| *b == name) {
-            if min > base_min * (1.0 + tolerance) {
-                out.push(format!(
-                    "{name}: {min:.2} ms vs baseline {base_min:.2} ms (+{:.0}% > +{:.0}% allowed)",
-                    (min / base_min - 1.0) * 100.0,
-                    tolerance * 100.0
-                ));
+        let Some(&(_, b)) = base.iter().find(|(bn, _)| *bn == name) else {
+            continue;
+        };
+        let Some(base_min) = b["min_ms"].as_f64() else {
+            continue;
+        };
+        // Null == Null for unstamped entries, so only a genuine
+        // thread-count mismatch skips the comparison.
+        if r["threads"] != b["threads"] {
+            continue;
+        }
+        if min > base_min * (1.0 + tolerance) {
+            out.push(format!(
+                "{name}: {min:.2} ms vs baseline {base_min:.2} ms (+{:.0}% > +{:.0}% allowed)",
+                (min / base_min - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if !matches!(current["threads"], Value::Null) && current["threads"] == baseline["threads"] {
+        let base_speedups: Vec<(&str, f64)> = baseline["speedups"]
+            .as_array()
+            .unwrap_or(&empty)
+            .iter()
+            .filter_map(|s| Some((s["name"].as_str()?, s["speedup"].as_f64()?)))
+            .collect();
+        for s in current["speedups"].as_array().unwrap_or(&empty) {
+            let (Some(name), Some(sp)) = (s["name"].as_str(), s["speedup"].as_f64()) else {
+                continue;
+            };
+            if let Some(&(_, base_sp)) = base_speedups.iter().find(|(b, _)| *b == name) {
+                if sp < base_sp * (1.0 - tolerance) {
+                    out.push(format!(
+                        "{name}: speedup {sp:.2}x vs baseline {base_sp:.2}x \
+                         (-{:.0}% > -{:.0}% allowed at {} threads)",
+                        (1.0 - sp / base_sp) * 100.0,
+                        tolerance * 100.0,
+                        current["threads"]
+                    ));
+                }
             }
         }
     }
@@ -207,6 +246,39 @@ mod tests {
     #[test]
     fn unshared_names_are_ignored() {
         assert!(regressions(&report("new", 99.0), &report("old", 1.0), 0.20).is_empty());
+    }
+
+    #[test]
+    fn thread_stamped_entries_skip_mismatched_baselines() {
+        let cur = json!({"threads": 1, "results": [
+            {"name": "sweep_parallel/N202", "min_ms": 90.0, "threads": 1}
+        ]});
+        let base = json!({"threads": 8, "results": [
+            {"name": "sweep_parallel/N202", "min_ms": 10.0, "threads": 8}
+        ]});
+        // 9x slower, but at 1 thread vs an 8-thread baseline: not a
+        // regression, just a different machine shape.
+        assert!(regressions(&cur, &base, 0.20).is_empty());
+        let same = json!({"threads": 8, "results": [
+            {"name": "sweep_parallel/N202", "min_ms": 90.0, "threads": 8}
+        ]});
+        assert_eq!(regressions(&same, &base, 0.20).len(), 1);
+    }
+
+    #[test]
+    fn speedups_gate_only_at_matching_thread_counts() {
+        let mk = |threads: u64, speedup: f64| {
+            json!({"threads": threads, "results": [],
+                   "speedups": [{"name": "sweep/N202", "speedup": speedup}]})
+        };
+        // Same thread count, speedup halved: flagged.
+        let bad = regressions(&mk(4, 1.0), &mk(4, 2.0), 0.20);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("speedup"));
+        // Within tolerance: passes.
+        assert!(regressions(&mk(4, 1.9), &mk(4, 2.0), 0.20).is_empty());
+        // Different thread count: speedups are incomparable.
+        assert!(regressions(&mk(1, 0.5), &mk(4, 2.0), 0.20).is_empty());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use std::collections::HashSet;
 
-use astra_graph::dijkstra::{shortest_path, ShortestPath};
+use astra_graph::dijkstra::{shortest_path, shortest_path_guided, ShortestPath};
 use astra_graph::{DiGraph, EdgeId, NodeId};
 
 /// Outcome of Algorithm 1.
@@ -77,6 +77,70 @@ pub fn algorithm1_capped<N, E>(
 
         // Walk the path, accumulating the constraint (Algorithm 1 lines
         // 4–10).
+        let mut acc = 0.0;
+        let mut offender = None;
+        for &e in &path.edges {
+            acc += constraint_metric(e, g.edge(e));
+            if acc >= bound {
+                offender = Some(e);
+                break;
+            }
+        }
+        match offender {
+            None => {
+                return Some(Alg1Solution {
+                    constraint: acc,
+                    path,
+                    edges_removed: removed.len(),
+                });
+            }
+            Some(e) => {
+                removed.insert(e);
+            }
+        }
+    }
+}
+
+/// [`algorithm1_capped`] with every Dijkstra run A*-guided by backward
+/// lower bounds on the objective (`lb_weight[v]` = a lower bound on the
+/// remaining weight from `v` to `target` on the **unmasked** graph).
+///
+/// The bounds are computed once and reused across all removal rounds:
+/// masking edges only raises true remaining distances, so a bound that
+/// is admissible and consistent on the full graph stays so on every
+/// masked subgraph (see `astra_graph::dijkstra::shortest_path_guided`).
+/// On the planner DAG the session's backward potentials serve directly.
+///
+/// Each round settles far fewer nodes than a full Dijkstra (the guided
+/// search never expands nodes whose optimistic completion exceeds the
+/// target's), but the path found per round has the same weight as the
+/// plain search's, so the heuristic's decisions are driven by the same
+/// quantities.
+#[allow(clippy::too_many_arguments)]
+pub fn algorithm1_guided_capped<N, E>(
+    g: &DiGraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    bound: f64,
+    max_removals: usize,
+    lb_weight: &[f64],
+    mut weight: impl FnMut(EdgeId, &E) -> f64,
+    mut constraint_metric: impl FnMut(EdgeId, &E) -> f64,
+) -> Option<Alg1Solution> {
+    let mut removed: HashSet<EdgeId> = HashSet::new();
+    loop {
+        if removed.len() > max_removals {
+            return None;
+        }
+        let path = shortest_path_guided(
+            g,
+            source,
+            target,
+            |e, p| weight(e, p),
+            |e| !removed.contains(&e),
+            lb_weight,
+        )?;
+
         let mut acc = 0.0;
         let mut offender = None;
         for &e in &path.edges {
@@ -168,6 +232,40 @@ mod tests {
         g.add_edge(s, t, (1.0, 100.0));
         g.add_edge(s, t, (2.0, 50.0));
         assert!(algorithm1(&g, s, t, 10.0, w, c).is_none());
+    }
+
+    #[test]
+    fn guided_matches_plain_across_removal_rounds() {
+        // Tie-free layered graph: guided and plain Algorithm 1 walk the
+        // same removal sequence and return the same path.
+        let mut g: G = DiGraph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        let mids: Vec<_> = (0..12).map(|_| g.add_node(())).collect();
+        for (idx, &m) in mids.iter().enumerate() {
+            let w = 1.0 + idx as f64 * 0.013;
+            g.add_edge(s, m, (w, 6.0 - idx as f64 * 0.1));
+            g.add_edge(m, t, (w * 1.7, 6.0 - idx as f64 * 0.11));
+        }
+        let lb = astra_graph::csp::dag_potentials(&g, t, |_, e| e.0, |_, _| 0.0)
+            .unwrap()
+            .min_weight_to;
+        for bound in [1.0, 5.0, 9.0, 11.0, f64::INFINITY] {
+            let plain = algorithm1_capped(&g, s, t, bound, 100, |_, e| e.0, |_, e| e.1);
+            let guided = algorithm1_guided_capped(
+                &g, s, t, bound, 100, &lb, |_, e| e.0, |_, e| e.1,
+            );
+            match (plain, guided) {
+                (None, None) => {}
+                (Some(p), Some(q)) => {
+                    assert_eq!(p.path.weight.to_bits(), q.path.weight.to_bits());
+                    assert_eq!(p.path.edges, q.path.edges);
+                    assert_eq!(p.edges_removed, q.edges_removed);
+                    assert_eq!(p.constraint.to_bits(), q.constraint.to_bits());
+                }
+                (p, q) => panic!("bound {bound}: {p:?} vs {q:?}"),
+            }
+        }
     }
 
     #[test]

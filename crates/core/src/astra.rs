@@ -180,9 +180,11 @@ impl Astra {
                 let solved = {
                     let mut span = self.telemetry.wall_span("planner", "solve", "planner");
                     span.set_parent(plan_span.id());
-                    if self.strategy == Strategy::ExactCsp {
+                    if matches!(self.strategy, Strategy::ExactCsp | Strategy::Algorithm1) {
                         // One extra reverse-topological sweep buys the
-                        // A*-guided, bound-pruned label search.
+                        // A*-guided, bound-pruned label search (and, for
+                        // Algorithm 1, guided Dijkstra in every
+                        // edge-removal round).
                         let potentials = PlannerPotentials::compute(&dag);
                         solve_on_dag_with_potentials(
                             &dag,

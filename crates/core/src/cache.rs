@@ -38,7 +38,7 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use astra_model::cost::full_cost;
 use astra_model::evaluate::{check_feasibility, Evaluation, Infeasibility};
@@ -125,6 +125,20 @@ impl CacheStats {
 pub struct ModelCache<'a> {
     job: &'a JobSpec,
     platform: &'a Platform,
+    /// `Some(size)` when every input object has the bit-identical size
+    /// — the common production shape, where the mapping phase admits a
+    /// closed form (see [`ModelCache::mapper_phase`]).
+    uniform_mb: Option<f64>,
+    /// Prefix sums of `c` copies of the uniform size, built by the same
+    /// left-fold the open-form `objs.iter().sum()` performs, so
+    /// `size_prefix[c]` is bit-identical to summing any `c`-object
+    /// assignment. Lazily built, shared across threads.
+    size_prefix: OnceLock<Arc<Vec<f64>>>,
+    /// Per-tier prefix sums of `get_secs(mem, size)` (same fold
+    /// argument). Kept out of [`CacheStats`] — internal scaffolding,
+    /// not a model sub-term.
+    get_prefix: Memo<u32, Vec<f64>>,
+    total_mb: OnceLock<f64>,
     mapper: Memo<(u32, usize), MapperPhase>,
     outputs: Memo<usize, Vec<f64>>,
     structure: Memo<(usize, usize), ReduceStructure>,
@@ -134,13 +148,95 @@ pub struct ModelCache<'a> {
 impl<'a> ModelCache<'a> {
     /// An empty cache for `job` on `platform`.
     pub fn new(job: &'a JobSpec, platform: &'a Platform) -> Self {
+        let uniform_mb = match job.object_sizes_mb.split_first() {
+            Some((&first, rest)) if rest.iter().all(|s| s.to_bits() == first.to_bits()) => {
+                Some(first)
+            }
+            _ => None,
+        };
         ModelCache {
             job,
             platform,
+            uniform_mb,
+            size_prefix: OnceLock::new(),
+            get_prefix: Memo::new(),
+            total_mb: OnceLock::new(),
             mapper: Memo::new(),
             outputs: Memo::new(),
             structure: Memo::new(),
             tier_times: Memo::new(),
+        }
+    }
+
+    /// `job.total_mb()` computed once (it is an `O(N)` scan the DAG
+    /// builder would otherwise repeat per `(k_M, k_R)` pair).
+    pub fn job_total_mb(&self) -> f64 {
+        *self.total_mb.get_or_init(|| self.job.total_mb())
+    }
+
+    fn size_prefix(&self, len: usize) -> Arc<Vec<f64>> {
+        let s = self.uniform_mb.expect("size_prefix requires a uniform job");
+        Arc::clone(self.size_prefix.get_or_init(|| {
+            let mut t = Vec::with_capacity(len + 1);
+            t.push(0.0);
+            for c in 1..=len {
+                t.push(t[c - 1] + s);
+            }
+            Arc::new(t)
+        }))
+    }
+
+    fn get_prefix(&self, mem_mb: u32) -> Arc<Vec<f64>> {
+        let s = self.uniform_mb.expect("get_prefix requires a uniform job");
+        let n = self.job.num_objects();
+        self.get_prefix.get_or(mem_mb, || {
+            let g = self.platform.get_secs(mem_mb, s);
+            let mut t = Vec::with_capacity(n + 1);
+            t.push(0.0);
+            for c in 1..=n {
+                t.push(t[c - 1] + g);
+            }
+            t
+        })
+    }
+
+    /// Closed-form [`mapper_phase`] for uniform jobs: every worker holds
+    /// `k_M` objects except the last (remainder), so the per-worker sums
+    /// are two prefix-table lookups instead of an `O(N)` scan — and
+    /// bit-identical to the open form, because the tables replay the
+    /// exact left-folds `objs.iter().sum()` would run (a test asserts
+    /// this across the whole `k_M` range).
+    fn mapper_phase_uniform(&self, mem_mb: u32, k_m: usize) -> MapperPhase {
+        let n = self.job.num_objects();
+        let workers = n.div_ceil(k_m);
+        let last = n - k_m * (workers - 1);
+        let secs_per_mb = self
+            .platform
+            .secs_per_mb(mem_mb, self.job.profile.map_secs_per_mb_128);
+        let sizes = self.size_prefix(n);
+        let gets = self.get_prefix(mem_mb);
+        let lifetime = |c: usize| {
+            let input_mb = sizes[c];
+            let output_mb = input_mb * self.job.profile.shuffle_ratio;
+            let transfer = gets[c] + self.platform.inter_put_secs(mem_mb, output_mb);
+            (transfer + input_mb * secs_per_mb, output_mb)
+        };
+        let (full_s, full_mb) = lifetime(k_m);
+        let (last_s, last_mb) = if last == k_m {
+            (full_s, full_mb)
+        } else {
+            lifetime(last)
+        };
+        let mut per_mapper = vec![full_s; workers];
+        let mut outputs = vec![full_mb; workers];
+        per_mapper[workers - 1] = last_s;
+        outputs[workers - 1] = last_mb;
+        let spawn = self.platform.spawn_secs(per_mapper.len());
+        let duration = per_mapper.iter().cloned().fold(0.0, f64::max) + spawn;
+        MapperPhase {
+            per_mapper_secs: per_mapper,
+            duration_s: duration,
+            output_sizes_mb: outputs,
         }
     }
 
@@ -154,16 +250,32 @@ impl<'a> ModelCache<'a> {
         self.platform
     }
 
-    /// The mapping phase at `(mapper mem tier, k_M)` (Eq. 1–4).
+    /// The mapping phase at `(mapper mem tier, k_M)` (Eq. 1–4). Uniform
+    /// jobs take the `O(j)` closed form; ragged jobs the `O(N)` scan.
     pub fn mapper_phase(&self, mem_mb: u32, k_m: usize) -> Arc<MapperPhase> {
-        self.mapper
-            .get_or((mem_mb, k_m), || mapper_phase(self.job, self.platform, mem_mb, k_m))
+        self.mapper.get_or((mem_mb, k_m), || {
+            if self.uniform_mb.is_some() {
+                self.mapper_phase_uniform(mem_mb, k_m)
+            } else {
+                mapper_phase(self.job, self.platform, mem_mb, k_m)
+            }
+        })
     }
 
     /// Per-mapper shuffle output volumes for `k_M` (tier-independent:
     /// sizes depend only on the object assignment and the shuffle ratio).
     pub fn mapper_outputs(&self, k_m: usize) -> Arc<Vec<f64>> {
         self.outputs.get_or(k_m, || {
+            if self.uniform_mb.is_some() {
+                let n = self.job.num_objects();
+                let workers = n.div_ceil(k_m);
+                let last = n - k_m * (workers - 1);
+                let sizes = self.size_prefix(n);
+                let ratio = self.job.profile.shuffle_ratio;
+                let mut out = vec![sizes[k_m] * ratio; workers];
+                out[workers - 1] = sizes[last] * ratio;
+                return out;
+            }
             astra_model::distribute::distribute_sizes(&self.job.object_sizes_mb, k_m)
                 .into_iter()
                 .map(|objs| objs.iter().sum::<f64>() * self.job.profile.shuffle_ratio)
@@ -305,6 +417,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn closed_form_mapper_matches_open_form_bitwise() {
+        use astra_model::perf::mapper_phase as open_form;
+        let platform = Platform::aws_lambda();
+        for n in [1usize, 2, 5, 12, 37] {
+            let job = JobSpec::uniform("t", n, 1.75, WorkloadProfile::uniform_test());
+            let cache = ModelCache::new(&job, &platform);
+            assert!(cache.uniform_mb.is_some());
+            for mem in [128, 1792, 3008] {
+                for k_m in 1..=n {
+                    let fast = cache.mapper_phase(mem, k_m);
+                    let slow = open_form(&job, &platform, mem, k_m);
+                    assert_eq!(
+                        fast.duration_s.to_bits(),
+                        slow.duration_s.to_bits(),
+                        "n={n} mem={mem} k_m={k_m}"
+                    );
+                    assert_eq!(fast.per_mapper_secs.len(), slow.per_mapper_secs.len());
+                    for (a, b) in fast.per_mapper_secs.iter().zip(&slow.per_mapper_secs) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "n={n} mem={mem} k_m={k_m}");
+                    }
+                    for (a, b) in fast.output_sizes_mb.iter().zip(&slow.output_sizes_mb) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "n={n} mem={mem} k_m={k_m}");
+                    }
+                    let outs = cache.mapper_outputs(k_m);
+                    for (a, b) in outs.iter().zip(&slow.output_sizes_mb) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "n={n} k_m={k_m}");
+                    }
+                }
+            }
+        }
+        // Ragged jobs must not take the closed form.
+        let ragged = JobSpec {
+            name: "r".into(),
+            object_sizes_mb: vec![1.0, 2.0, 1.0],
+            profile: WorkloadProfile::uniform_test(),
+        };
+        assert!(ModelCache::new(&ragged, &platform).uniform_mb.is_none());
     }
 
     #[test]

@@ -77,6 +77,9 @@
 //! [`PlannerDag::build_serial`], which runs the same recipe functions on
 //! one thread (equivalence tests assert graph-level bit-identity).
 
+use std::collections::HashMap;
+
+use astra_graph::csp::EdgeExpand;
 use astra_graph::{DiGraph, EdgeId, NodeId};
 use astra_model::cost::{
     coordinator_storage_cost, mapper_edge_cost, orchestration_requests_cost, reduce_edge_cost,
@@ -214,6 +217,136 @@ pub struct PlannerDag {
     source: NodeId,
     sink: NodeId,
     prune_stats: PruneStats,
+    soa: SoaEdges,
+}
+
+/// Flat struct-of-arrays mirror of the planner graph's edges in CSR
+/// form: per-node slot ranges (`offsets`), and parallel `heads`,
+/// `edge_ids`, `times`, `costs` and `multiplicity` arrays the solvers
+/// iterate linearly instead of chasing the arena's intrusive lists.
+///
+/// Slot order within a node is **exactly** `DiGraph::out_edges` order
+/// (most-recently-added first), and the stored topological order is the
+/// graph's own, so the potentials DP and the CSP label search perform
+/// the identical floating-point operations in the identical order as
+/// the closure-over-`DiGraph` path — answers are bit-identical
+/// (`tests/prune_equivalence.rs` gates this).
+///
+/// `multiplicity[i]` records how many raw configuration-space candidates
+/// edge `i` represents when the space was built by
+/// [`ConfigSpace::bundled`] (1 everywhere otherwise); the
+/// `planner.dag.bundles_collapsed` gauge totals the candidates folded
+/// away.
+pub struct SoaEdges {
+    offsets: Vec<u32>,
+    heads: Vec<u32>,
+    edge_ids: Vec<u32>,
+    times: Vec<f64>,
+    costs: Vec<i64>,
+    multiplicity: Vec<u32>,
+    topo: Vec<u32>,
+}
+
+impl SoaEdges {
+    fn build(
+        g: &DiGraph<Choice, EdgeMetrics>,
+        space: &ConfigSpace,
+        j_of_k_m: &HashMap<usize, usize>,
+    ) -> SoaEdges {
+        let (n, e) = (g.node_count(), g.edge_count());
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut heads = Vec::with_capacity(e);
+        let mut edge_ids = Vec::with_capacity(e);
+        let mut times = Vec::with_capacity(e);
+        let mut costs = Vec::with_capacity(e);
+        let mut multiplicity = Vec::with_capacity(e);
+        offsets.push(0);
+        for u in g.node_ids() {
+            for (eid, m) in g.out_edges(u) {
+                let head = g.endpoints(eid).1;
+                heads.push(head.0);
+                edge_ids.push(eid.0);
+                times.push(m.time_s);
+                costs.push(m.cost_nanos);
+                multiplicity.push(match *g.node(head) {
+                    Choice::ObjectsPerMapper(k_m) => space.k_m_weight(k_m) as u32,
+                    Choice::ObjectsPerReducer { k_m, k_r } => j_of_k_m
+                        .get(&k_m)
+                        .map_or(1, |&j| space.k_r_weight(j, k_r) as u32),
+                    _ => 1,
+                });
+            }
+            offsets.push(heads.len() as u32);
+        }
+        let topo = g
+            .topological_order()
+            .expect("planner graph is acyclic by construction")
+            .into_iter()
+            .map(|id| id.0)
+            .collect();
+        SoaEdges {
+            offsets,
+            heads,
+            edge_ids,
+            times,
+            costs,
+            multiplicity,
+            topo,
+        }
+    }
+
+    /// Number of edges in the flat store.
+    pub fn edges_stored(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Raw configuration candidates folded into representative edges
+    /// (0 for unbundled spaces): `sum(multiplicity - 1)`.
+    pub fn bundles_collapsed(&self) -> u64 {
+        self.multiplicity.iter().map(|&m| (m - 1) as u64).sum()
+    }
+
+    /// A time-primary [`EdgeExpand`] view (weight = seconds, resource =
+    /// micro-dollars) for `MinimizeTime` queries.
+    pub fn time_view(&self) -> SoaView<'_, false> {
+        SoaView { soa: self }
+    }
+
+    /// A cost-primary [`EdgeExpand`] view (weight = micro-dollars,
+    /// resource = seconds) for `MinimizeCost` queries.
+    pub fn cost_view(&self) -> SoaView<'_, true> {
+        SoaView { soa: self }
+    }
+}
+
+/// Linear-scan [`EdgeExpand`] adapter over [`SoaEdges`]. The const
+/// parameter selects the weight/resource orientation; cost is converted
+/// to micro-dollars by the same `cost_nanos as f64 * 1e-3` expression
+/// the closure-based solver path uses, so both paths feed the CSP core
+/// bit-identical operands.
+pub struct SoaView<'a, const COST_PRIMARY: bool> {
+    soa: &'a SoaEdges,
+}
+
+impl<const COST_PRIMARY: bool> EdgeExpand for SoaView<'_, COST_PRIMARY> {
+    fn node_count(&self) -> usize {
+        self.soa.offsets.len() - 1
+    }
+
+    fn for_each_out(&mut self, v: u32, mut f: impl FnMut(EdgeId, u32, f64, f64)) {
+        let lo = self.soa.offsets[v as usize] as usize;
+        let hi = self.soa.offsets[v as usize + 1] as usize;
+        for i in lo..hi {
+            let t = self.soa.times[i];
+            let c = self.soa.costs[i] as f64 * 1e-3;
+            let (w, r) = if COST_PRIMARY { (c, t) } else { (t, c) };
+            f(EdgeId(self.soa.edge_ids[i]), self.soa.heads[i], w, r);
+        }
+    }
+
+    fn topo_order(&self) -> Option<Vec<u32>> {
+        Some(self.soa.topo.clone())
+    }
 }
 
 /// Column-2 recipe: the mapper edges one `k_M` contributes, as
@@ -253,13 +386,40 @@ struct Col3Recipe {
 /// dropped.
 fn pareto_filter(edges: &mut Vec<(usize, EdgeMetrics)>) -> usize {
     let before = edges.len();
-    let snapshot = edges.clone();
-    edges.retain(|&(_, m)| {
-        !snapshot.iter().any(|&(_, o)| {
+    if before > 128 {
+        // Snapshot fallback for absurdly long tier lists (real platforms
+        // have <= 46 tiers, so this path never runs in production).
+        let snapshot = edges.clone();
+        edges.retain(|&(_, m)| {
+            !snapshot.iter().any(|&(_, o)| {
+                o.time_s <= m.time_s
+                    && o.cost_nanos <= m.cost_nanos
+                    && (o.time_s < m.time_s || o.cost_nanos < m.cost_nanos)
+            })
+        });
+        return before - edges.len();
+    }
+    // Allocation-free: mark survivors against the full original set in a
+    // bitmask, then compact in place. Semantics identical to the
+    // snapshot version — every entry is compared against the whole
+    // pre-filter set.
+    let mut keep: u128 = 0;
+    for i in 0..before {
+        let (_, m) = edges[i];
+        let dominated = edges.iter().any(|&(_, o)| {
             o.time_s <= m.time_s
                 && o.cost_nanos <= m.cost_nanos
                 && (o.time_s < m.time_s || o.cost_nanos < m.cost_nanos)
-        })
+        });
+        if !dominated {
+            keep |= 1 << i;
+        }
+    }
+    let mut slot = 0;
+    edges.retain(|_| {
+        let kept = keep >> slot & 1 == 1;
+        slot += 1;
+        kept
     });
     before - edges.len()
 }
@@ -287,7 +447,7 @@ fn col2_recipe(
         if phase.duration_s > platform.timeout_s {
             continue; // this tier is too slow for this k_M
         }
-        let cost = mapper_edge_cost(job, &phase, i_mem, platform, catalog);
+        let cost = mapper_edge_cost(job, &phase, i_mem, platform, catalog, cache.job_total_mb());
         mapper_edges.push((ti, metrics(phase.duration_s, cost)));
     }
     if mapper_edges.is_empty() {
@@ -326,9 +486,11 @@ fn col3_recipe(
     let job = cache.job();
     let tiers = &space.memory_tiers_mb;
     let structure = cache.reduce_structure(k_m, k_r);
-    // Eq. 18 storage cap: D + S(state) + Q <= O.
+    // Eq. 18 storage cap: D + S(state) + Q <= O. (`D` via the cache's
+    // one-shot total, not an O(N) rescan per (k_M, k_R) pair.)
     let state_mb = job.profile.state_object_mb * structure.num_steps() as f64;
-    if job.total_mb() + state_mb + total_input_mb(&structure.steps) > platform.max_storage_mb {
+    let pending_input_mb = total_input_mb(&structure.steps);
+    if cache.job_total_mb() + state_mb + pending_input_mb > platform.max_storage_mb {
         return None;
     }
     // Concurrency: widest reduce step + the waiting coordinator.
@@ -356,18 +518,36 @@ fn col3_recipe(
         .iter()
         .map(|&s_mem| {
             let times = cache.reduce_tier_times(k_m, k_r, s_mem);
+            // Step maxima decide feasibility: every reducer fits the
+            // timeout iff the slowest one in each step does.
             let feasible = times
-                .per_reducer_s
+                .per_step_max_s
                 .iter()
-                .flatten()
                 .all(|&t| t <= platform.timeout_s);
+            if !feasible {
+                // No final edge will use this tier; skip its costing.
+                return PerTier {
+                    phase_s: 0.0,
+                    wait_before_last_s: 0.0,
+                    edge_cost_excl_coord: Money::ZERO,
+                    feasible,
+                };
+            }
             let wait_before_last: f64 = times.per_step_max_s[..times.per_step_max_s.len() - 1]
                 .iter()
                 .sum();
             // reduce_edge_cost with a zero-duration coordinator gives
             // the coordinator-independent part.
             let cost_excl = reduce_edge_cost(
-                job, &structure, &times, s_mem, tiers[0], 0.0, platform, catalog,
+                job,
+                &structure,
+                &times,
+                s_mem,
+                tiers[0],
+                0.0,
+                platform,
+                catalog,
+                cache.job_total_mb(),
             );
             PerTier {
                 phase_s: times.duration_s(),
@@ -389,7 +569,15 @@ fn col3_recipe(
             let state_put_s =
                 coordinator_state_put_secs(structure.num_steps(), platform, &job.profile, a_mem);
             let t2_s = coord_compute[ai] + state_put_s;
-            let e3_cost = coordinator_storage_cost(job, &structure, t2_s, platform, catalog);
+            let e3_cost = coordinator_storage_cost(
+                job,
+                &structure,
+                t2_s,
+                platform,
+                catalog,
+                cache.job_total_mb(),
+                pending_input_mb,
+            );
             let mut final_edges = Vec::new();
             for (si, tier) in per_tier.iter().enumerate() {
                 if !tier.feasible {
@@ -437,6 +625,10 @@ fn col3_recipe(
             if full[i].final_edges.is_empty() {
                 return true; // dead end: on no source→sink path
             }
+            // Only `i`'s own continuations decide dominance — slots `j`
+            // offers and `i` lacks never make `j` worse — so walk `i`'s
+            // (sparse) final-edge list and index `j`'s dense slot table.
+            let base_i = full[i].e3.cost_nanos;
             (0..full.len()).any(|j| {
                 if j == i {
                     return false;
@@ -446,9 +638,11 @@ fn col3_recipe(
                     return false;
                 }
                 let mut strict = tj < ti;
-                for (ci_slot, cj_slot) in combined[i].iter().zip(&combined[j]) {
-                    match (*ci_slot, *cj_slot) {
-                        (Some(ci), Some(cj)) => {
+                let by_si_j = &combined[j];
+                for &(si, m) in &full[i].final_edges {
+                    let ci = base_i + m.cost_nanos;
+                    match by_si_j[si] {
+                        Some(cj) => {
                             if cj > ci {
                                 return false;
                             }
@@ -456,8 +650,7 @@ fn col3_recipe(
                                 strict = true;
                             }
                         }
-                        (Some(_), None) => return false, // j misses a continuation
-                        (None, _) => {}
+                        None => return false, // j misses a continuation
                     }
                 }
                 strict
@@ -587,6 +780,11 @@ impl PlannerDag {
                 stats.coordinator_nodes as f64,
             );
             tel.gauge("planner.dag.pruned_reducer_edges", stats.reducer_edges as f64);
+            tel.gauge("planner.dag.edges_stored", dag.soa().edges_stored() as f64);
+            tel.gauge(
+                "planner.dag.bundles_collapsed",
+                dag.soa().bundles_collapsed() as f64,
+            );
         }
         dag
     }
@@ -671,6 +869,11 @@ impl PlannerDag {
         self.prune_stats
     }
 
+    /// The flat struct-of-arrays edge store the solvers iterate.
+    pub fn soa(&self) -> &SoaEdges {
+        &self.soa
+    }
+
     /// Recover the configuration a source→sink path encodes.
     ///
     /// Panics if the path does not visit one node of every column (which
@@ -719,10 +922,11 @@ impl PlannerDag {
 
 /// Coordinator planning compute per tier (depends only on its tier).
 fn coord_compute_per_tier(job: &JobSpec, platform: &Platform, space: &ConfigSpace) -> Vec<f64> {
+    let shuffle_mb = job.shuffle_mb();
     space
         .memory_tiers_mb
         .iter()
-        .map(|&a| coordinator_compute_secs(job.shuffle_mb(), platform, &job.profile, a))
+        .map(|&a| coordinator_compute_secs(shuffle_mb, platform, &job.profile, a))
         .collect()
 }
 
@@ -738,7 +942,24 @@ fn assemble(
     col3_flat: Vec<Option<(usize, Col3Recipe)>>,
 ) -> PlannerDag {
     let tiers = &space.memory_tiers_mb;
-    let mut g: DiGraph<Choice, EdgeMetrics> = DiGraph::new();
+    // Pre-size the store: at production N the DAG holds >10^6 edges and
+    // incremental regrowth dominates assembly time.
+    let (mut nodes, mut edges) = (2 + 2 * tiers.len(), 2 * tiers.len());
+    for r in &col2 {
+        nodes += 1;
+        edges += r.mapper_edges.len();
+    }
+    for (_, recipe) in col3_flat.iter().flatten() {
+        if recipe.per_coord.is_empty() {
+            continue;
+        }
+        nodes += 1 + recipe.per_coord.len();
+        edges += 1;
+        for (_, coord) in &recipe.per_coord {
+            edges += 1 + coord.final_edges.len();
+        }
+    }
+    let mut g: DiGraph<Choice, EdgeMetrics> = DiGraph::with_capacity(nodes, edges);
     let source = g.add_node(Choice::Source);
     let sink = g.add_node(Choice::Sink);
 
@@ -774,6 +995,7 @@ fn assemble(
         })
         .collect();
 
+    let j_of_k_m: HashMap<usize, usize> = col2.iter().map(|r| (r.k_m, r.j)).collect();
     for (ci, recipe) in col3_flat.into_iter().flatten() {
         prune_stats.coordinator_nodes += recipe.pruned_coords;
         prune_stats.reducer_edges += recipe.pruned_final_edges;
@@ -799,11 +1021,13 @@ fn assemble(
         }
     }
 
+    let soa = SoaEdges::build(&g, space, &j_of_k_m);
     PlannerDag {
         graph: g,
         source,
         sink,
         prune_stats,
+        soa,
     }
 }
 
@@ -926,6 +1150,7 @@ mod tests {
             memory_tiers_mb: vec![128],
             k_m_values: (1..=10).collect(),
             k_r_values: (2..=10).collect(),
+            k_m_weights: Vec::new(),
         };
         let dag = PlannerDag::build(&j, &platform, &catalog, &space);
         // k_M = 1 and 2 (j = 10, 5) must be absent.
@@ -981,6 +1206,83 @@ mod tests {
         let b = PlannerDag::build_serial_with(&j, &platform, &catalog, &space, PruneConfig::off());
         assert_eq!(a.graph().node_count(), b.graph().node_count());
         assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+    }
+
+    #[test]
+    fn soa_store_mirrors_the_graph_exactly() {
+        let (_, _, _, dag) = build(8, &[128, 512, 3008]);
+        let g = dag.graph();
+        let soa = dag.soa();
+        assert_eq!(soa.edges_stored(), g.edge_count());
+        // Even the raw space folds every k_R >= j onto the single-step
+        // candidate (the k_r_candidates clamp), so the collapse counter
+        // is non-zero here too. Derive the expected total independently:
+        // an edge into the single-step node `k_R = max(j, 2)` stands for
+        // the n - max(j, 2) + 1 raw values of 2..=n at or above it.
+        let expected: u64 = g
+            .node_ids()
+            .flat_map(|u| g.out_edges(u).map(|(eid, _)| g.endpoints(eid).1))
+            .map(|head| match *g.node(head) {
+                Choice::ObjectsPerReducer { k_m, k_r } => {
+                    let cap = 8usize.div_ceil(k_m).max(2);
+                    if k_r == cap {
+                        (8 - cap) as u64
+                    } else {
+                        0
+                    }
+                }
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(soa.bundles_collapsed(), expected);
+        // Slot order per node == out_edges order, payloads bit-identical.
+        let mut view = soa.time_view();
+        for u in g.node_ids() {
+            let arena: Vec<(EdgeId, u32, u64, i64)> = g
+                .out_edges(u)
+                .map(|(eid, m)| {
+                    (eid, g.endpoints(eid).1 .0, m.time_s.to_bits(), m.cost_nanos)
+                })
+                .collect();
+            let mut flat: Vec<(EdgeId, u32, u64, f64)> = Vec::new();
+            view.for_each_out(u.0, |eid, head, w, r| {
+                flat.push((eid, head, w.to_bits(), r));
+            });
+            assert_eq!(arena.len(), flat.len());
+            for (a, f) in arena.iter().zip(&flat) {
+                assert_eq!(a.0, f.0);
+                assert_eq!(a.1, f.1);
+                assert_eq!(a.2, f.2, "time bits differ on edge {:?}", a.0);
+                assert_eq!((a.3 as f64 * 1e-3).to_bits(), f.3.to_bits(), "cost µ$");
+            }
+        }
+        // Stored topo order is the graph's own.
+        let topo: Vec<u32> = g
+            .topological_order()
+            .unwrap()
+            .into_iter()
+            .map(|id| id.0)
+            .collect();
+        assert_eq!(view.topo_order().unwrap(), topo);
+    }
+
+    #[test]
+    fn bundled_space_records_edge_multiplicities() {
+        let j = job(97);
+        let platform = Platform::aws_lambda();
+        let catalog = PriceCatalog::aws_2020();
+        let space = ConfigSpace::bundled(&j, &platform);
+        let full = ConfigSpace::full(&j, &platform);
+        let dag = PlannerDag::build(&j, &platform, &catalog, &space);
+        assert!(
+            dag.soa().bundles_collapsed() > 0,
+            "97 objects have k_M classes wider than one candidate"
+        );
+        // The bundled space's k_M axis stands for every raw candidate.
+        assert_eq!(
+            space.k_m_weights.iter().sum::<usize>(),
+            full.k_m_values.len()
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Solver strategies over the planner DAG.
 
 use astra_graph::csp::{
-    constrained_shortest_path, constrained_shortest_path_with_bounds, dag_potentials,
+    constrained_shortest_path, constrained_shortest_path_with_bounds_on, dag_potentials_on,
 };
 use astra_graph::yen::KShortestPaths;
 use astra_model::{evaluate, JobConfig, JobSpec, Platform};
@@ -9,7 +9,7 @@ use astra_pricing::{Money, PriceCatalog};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::alg1::algorithm1_capped;
+use crate::alg1::{algorithm1_capped, algorithm1_guided_capped};
 use crate::cache::ModelCache;
 use crate::dag::PlannerDag;
 use crate::objective::Objective;
@@ -128,15 +128,12 @@ pub struct PlannerPotentials {
 
 impl PlannerPotentials {
     /// Compute both potentials in one reverse-topological sweep over the
-    /// DAG (cost: one pass over the edges).
+    /// DAG's flat SoA edge store (cost: one linear pass over the edge
+    /// arrays — same relaxation order, and therefore bit-identical
+    /// values, as the arena-walking closure path it replaced).
     pub fn compute(dag: &PlannerDag) -> PlannerPotentials {
-        let pots = dag_potentials(
-            dag.graph(),
-            dag.sink(),
-            |_, m| m.time_s,
-            |_, m| m.cost_nanos as f64 * 1e-3,
-        )
-        .expect("planner graph is acyclic by construction");
+        let pots = dag_potentials_on(&mut dag.soa().time_view(), dag.sink().0)
+            .expect("planner graph is acyclic by construction");
         PlannerPotentials {
             min_time_to: pots.min_weight_to,
             min_cost_to: pots.min_resource_to,
@@ -156,11 +153,17 @@ impl PlannerPotentials {
 
 /// [`solve_on_dag`] accelerated by precomputed [`PlannerPotentials`].
 ///
-/// Only [`Strategy::ExactCsp`] consumes the potentials (A*-guided,
-/// bound- and incumbent-pruned label search; exactness argument in
-/// `astra_graph::csp`); the other strategies delegate to the plain
-/// solver unchanged. When `telemetry` is enabled, label-search effort is
-/// reported through the `planner.csp.labels_*` counters.
+/// [`Strategy::ExactCsp`] runs the A*-guided, bound- and
+/// incumbent-pruned label search over the DAG's flat SoA edge store
+/// (exactness argument in `astra_graph::csp`; answers bit-identical to
+/// the plain solver, which the equivalence suites gate).
+/// [`Strategy::Algorithm1`] reuses the time (or cost) potential as an
+/// admissible A* heuristic for every Dijkstra round of the paper's
+/// edge-removal loop — masking edges only raises distances, so one
+/// backward sweep serves all removals. The remaining strategies
+/// delegate to the plain solver unchanged. When `telemetry` is enabled,
+/// label-search effort is reported through the `planner.csp.labels_*`
+/// counters and Algorithm 1 rounds through `planner.alg1.removals`.
 pub fn solve_on_dag_with_potentials(
     dag: &PlannerDag,
     potentials: &PlannerPotentials,
@@ -168,29 +171,58 @@ pub fn solve_on_dag_with_potentials(
     strategy: Strategy,
     telemetry: &astra_telemetry::Telemetry,
 ) -> Option<JobConfig> {
-    if strategy != Strategy::ExactCsp {
-        return solve_on_dag(dag, objective, strategy);
+    match strategy {
+        Strategy::ExactCsp => {}
+        Strategy::Algorithm1 => {
+            let g = dag.graph();
+            let (src, dst) = (dag.source(), dag.sink());
+            let sol = match objective {
+                Objective::MinimizeTime { budget } => algorithm1_guided_capped(
+                    g,
+                    src,
+                    dst,
+                    (budget.nanos() as f64 * 1e-3) * (1.0 + BOUND_EPS) + BOUND_EPS,
+                    MAX_ALG1_REMOVALS,
+                    &potentials.min_time_to,
+                    |_, m| m.time_s,
+                    |_, m| m.cost_nanos as f64 * 1e-3,
+                ),
+                Objective::MinimizeCost { deadline_s } => algorithm1_guided_capped(
+                    g,
+                    src,
+                    dst,
+                    deadline_s * (1.0 + BOUND_EPS) + BOUND_EPS,
+                    MAX_ALG1_REMOVALS,
+                    &potentials.min_cost_to,
+                    |_, m| m.cost_nanos as f64 * 1e-3,
+                    |_, m| m.time_s,
+                ),
+            };
+            if telemetry.enabled() {
+                if let Some(s) = &sol {
+                    telemetry.counter("planner.alg1.removals", s.edges_removed as u64);
+                }
+            }
+            return sol.map(|s| dag.config_for_path(&s.path.edges));
+        }
+        _ => return solve_on_dag(dag, objective, strategy),
     }
-    let g = dag.graph();
-    let (src, dst) = (dag.source(), dag.sink());
+    let soa = dag.soa();
+    let (src, dst) = (dag.source().0, dag.sink().0);
     let run = match objective {
-        Objective::MinimizeTime { budget } => constrained_shortest_path_with_bounds(
-            g,
+        Objective::MinimizeTime { budget } => constrained_shortest_path_with_bounds_on(
+            &mut soa.time_view(),
             src,
             dst,
             (budget.nanos() as f64 * 1e-3) * (1.0 + BOUND_EPS) + BOUND_EPS,
-            |_, m| m.time_s,
-            |_, m| m.cost_nanos as f64 * 1e-3,
             &potentials.min_time_to,
             &potentials.min_cost_to,
         ),
-        Objective::MinimizeCost { deadline_s } => constrained_shortest_path_with_bounds(
-            g,
+        Objective::MinimizeCost { deadline_s } => constrained_shortest_path_with_bounds_on(
+            &mut soa.cost_view(),
             src,
             dst,
             deadline_s * (1.0 + BOUND_EPS) + BOUND_EPS,
-            |_, m| m.cost_nanos as f64 * 1e-3,
-            |_, m| m.time_s,
             &potentials.min_cost_to,
             &potentials.min_time_to,
         ),
@@ -457,6 +489,31 @@ mod tests {
             budget: Money::from_nanos(1),
         };
         assert!(solve_on_dag_with_potentials(&dag, &pots, o, Strategy::ExactCsp, &tel).is_none());
+    }
+
+    #[test]
+    fn guided_algorithm1_matches_plain_on_the_test_dag() {
+        let (job, platform, catalog, _, dag) = setup(6, &[128, 512, 3008]);
+        let pots = PlannerPotentials::compute(&dag);
+        let tel = astra_telemetry::Telemetry::disabled();
+        let cheapest = solve_on_dag(&dag, Objective::cheapest(), Strategy::ExactCsp).unwrap();
+        let (_, min_cost) = eval(&job, &platform, &catalog, &cheapest);
+        for frac in [1.1, 1.5, 3.0] {
+            let o = Objective::MinimizeTime {
+                budget: min_cost.scale(frac),
+            };
+            assert_eq!(
+                solve_on_dag_with_potentials(&dag, &pots, o, Strategy::Algorithm1, &tel),
+                solve_on_dag(&dag, o, Strategy::Algorithm1),
+                "budget x{frac}"
+            );
+        }
+        let o = Objective::MinimizeTime {
+            budget: Money::from_nanos(1),
+        };
+        assert!(
+            solve_on_dag_with_potentials(&dag, &pots, o, Strategy::Algorithm1, &tel).is_none()
+        );
     }
 
     #[test]

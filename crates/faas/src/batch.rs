@@ -87,9 +87,16 @@ impl SimBatch {
 
     /// Execute every run in parallel; results come back in push order and
     /// are bit-identical to a serial loop at any thread count.
+    ///
+    /// Cases fan out with a one-case minimum chunk (each simulator run
+    /// dwarfs a thread hand-off), enumerated by the iterator adapter
+    /// rather than a hand-rolled `(index, run)` collect — under real
+    /// rayon the pairing never materializes at all.
     pub fn run(self) -> Vec<Result<SimReport, SimError>> {
-        let runs: Vec<(usize, BatchRun)> = self.runs.into_iter().enumerate().collect();
-        runs.into_par_iter()
+        self.runs
+            .into_par_iter()
+            .enumerate()
+            .with_min_len(1)
             .map(|(index, r)| run_case(index, r))
             .collect()
     }

@@ -216,12 +216,57 @@ impl SpanNames {
     }
 }
 
+/// Reusable per-thread scratch for simulator construction: the event
+/// heap, the lifecycle slab, both storage ledgers, the warm-container
+/// map, and the interned span names. Everything here is either cleared
+/// back to its freshly-constructed state before it re-enters the pool
+/// (queue, slab, ledgers, pool map — each documents that its reset is
+/// observationally identical to `new()`) or immutable by construction
+/// (the interned names), so a checked-out arena can never leak one
+/// case's state into the next and batch replays stay bit-deterministic.
+///
+/// The payoff is on sweep workers: a `SimBatch` thread runs thousands of
+/// cases, and without the arena each case pays the queue/slab/ledger
+/// growth reallocations and nine `Arc<str>` interning allocations from
+/// scratch.
+struct SimArena {
+    queue: EventQueue<Event>,
+    states: Vec<LambdaState>,
+    ledger: StorageLedger,
+    inter_ledger: StorageLedger,
+    warm_pool: std::collections::HashMap<u32, usize>,
+    names: SpanNames,
+}
+
+impl SimArena {
+    fn fresh() -> Self {
+        SimArena {
+            queue: EventQueue::with_capacity(64),
+            states: Vec::with_capacity(64),
+            ledger: StorageLedger::new(),
+            inter_ledger: StorageLedger::new(),
+            warm_pool: std::collections::HashMap::new(),
+            names: SpanNames::intern(),
+        }
+    }
+}
+
+thread_local! {
+    /// One parked arena per thread. `FaasSim::new` takes it (leaving
+    /// `None`), `run()` returns the recycled pieces when the simulation
+    /// ends — including on error paths, since sweep workers keep going
+    /// after a failed case.
+    static ARENA: std::cell::RefCell<Option<SimArena>> = const { std::cell::RefCell::new(None) };
+}
+
 /// The simulator. Create one per job run.
 ///
 /// Lifecycle state lives in a slab (`states`, indexed by invocation id);
 /// events carry indices, not payloads, so the hot pop/handle/schedule
 /// cycle moves no owned data and performs no per-event allocation beyond
-/// the queue's amortized growth.
+/// the queue's amortized growth. The slab, queue, ledgers and interned
+/// names come from a per-thread [`SimArena`] so consecutive runs on one
+/// thread (a sweep worker's case loop) reuse their allocations.
 pub struct FaasSim {
     config: SimConfig,
     queue: EventQueue<Event>,
@@ -261,27 +306,34 @@ impl FaasSim {
     pub fn new(config: SimConfig, inputs: &[(String, f64)]) -> Self {
         let noise = NoiseModel::new(config.seed, config.noise_cv);
         let tokens = FifoTokens::new(config.platform.max_concurrency as usize);
-        let mut ledger = StorageLedger::new();
-        for (key, size) in inputs {
-            ledger.register_preexisting(key.clone(), *size);
-        }
         let tel_enabled = config.telemetry.enabled();
+        let arena = ARENA.with(|slot| slot.borrow_mut().take());
+        let reused = arena.is_some();
+        let mut arena = arena.unwrap_or_else(SimArena::fresh);
+        if tel_enabled {
+            config
+                .telemetry
+                .counter(if reused { "batch.arena.reuse" } else { "batch.arena.alloc" }, 1);
+        }
+        for (key, size) in inputs {
+            arena.ledger.register_preexisting(key.clone(), *size);
+        }
         FaasSim {
             config,
-            queue: EventQueue::with_capacity(64),
-            states: Vec::with_capacity(64),
+            queue: arena.queue,
+            states: arena.states,
             tokens,
             noise,
-            ledger,
-            inter_ledger: StorageLedger::new(),
+            ledger: arena.ledger,
+            inter_ledger: arena.inter_ledger,
             trace: TraceLog::new(),
             invoices: Vec::with_capacity(64),
             running: 0,
             peak_running: 0,
             crashes: 0,
-            warm_pool: std::collections::HashMap::new(),
+            warm_pool: arena.warm_pool,
             warm_starts: 0,
-            names: SpanNames::intern(),
+            names: arena.names,
             tel_enabled,
             wall_anchor: if tel_enabled {
                 astra_telemetry::wall_clock_ns()
@@ -330,6 +382,33 @@ impl FaasSim {
 
     /// Execute `roots` (invoked at t = 0) to completion.
     pub fn run(mut self, roots: Vec<LambdaSpec>) -> Result<SimReport, SimError> {
+        let result = self.run_to_completion(roots);
+        self.recycle();
+        result
+    }
+
+    /// Park the reusable pieces back in this thread's arena for the next
+    /// [`FaasSim::new`]. Every piece is cleared to its `new()`-identical
+    /// state first; report-bound state (invoices, trace, snapshots) has
+    /// already moved out, or is dropped here on the error path.
+    fn recycle(mut self) {
+        self.queue.clear();
+        self.states.clear();
+        self.ledger.reset();
+        self.inter_ledger.reset();
+        self.warm_pool.clear();
+        let arena = SimArena {
+            queue: self.queue,
+            states: self.states,
+            ledger: self.ledger,
+            inter_ledger: self.inter_ledger,
+            warm_pool: self.warm_pool,
+            names: self.names,
+        };
+        ARENA.with(|slot| *slot.borrow_mut() = Some(arena));
+    }
+
+    fn run_to_completion(&mut self, roots: Vec<LambdaSpec>) -> Result<SimReport, SimError> {
         self.states.reserve(roots.len());
         self.queue.reserve(roots.len());
         for spec in roots {
@@ -372,10 +451,10 @@ impl FaasSim {
             lambda_cost,
             storage_cost,
             ephemeral_cost,
-            invoices: self.invoices,
+            invoices: std::mem::take(&mut self.invoices),
             ledger: snapshot,
             inter_ledger: inter_snapshot,
-            trace: self.trace,
+            trace: std::mem::take(&mut self.trace),
             peak_concurrency: self.peak_running,
             queued_invocations: self.tokens.total_waits(),
             crashes: self.crashes,
@@ -1173,6 +1252,31 @@ mod tests {
             .filter(|s| &*s.name == "retry_cold_start")
             .count();
         assert_eq!(retry_spans as u64, report.crashes);
+    }
+
+    #[test]
+    fn arena_recycles_across_runs_and_error_paths() {
+        let (tel, rec) = astra_telemetry::sinks::in_memory();
+        let cfg = || SimConfig::deterministic(platform()).with_telemetry(tel.clone());
+        let specs = || vec![LambdaSpec::new("f", 128, vec![Op::Compute { secs_at_128: 1.0 }])];
+        let a = FaasSim::new(cfg(), &[]).run(specs()).unwrap();
+        let b = FaasSim::new(cfg(), &[]).run(specs()).unwrap();
+        // Reused scratch leaks nothing: the second report is identical.
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.invoices, b.invoices);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.ledger, b.ledger);
+        // A failing run still parks its arena for the next case...
+        let err = FaasSim::new(cfg(), &[]).run(vec![LambdaSpec::new("t", 128, vec![])]);
+        assert!(err.is_ok(), "setup");
+        let failed = FaasSim::new(cfg(), &[]).run(vec![LambdaSpec::new("bad", 100, vec![])]);
+        assert!(failed.is_err());
+        let c = FaasSim::new(cfg(), &[]).run(specs()).unwrap();
+        assert_eq!(a.makespan, c.makespan);
+        // ...so on this fresh test thread, exactly one construction
+        // allocated and every later one reused.
+        assert_eq!(rec.counter_value("batch.arena.alloc"), 1);
+        assert_eq!(rec.counter_value("batch.arena.reuse"), 4);
     }
 
     #[test]

@@ -103,6 +103,66 @@ pub struct Potentials {
     pub min_resource_to: Vec<f64>,
 }
 
+/// Abstract out-edge expansion over a two-metric graph. The label core,
+/// the potentials DP and the greedy incumbent descent are generic over
+/// this, so one monomorphized implementation serves both a [`DiGraph`]
+/// with metric closures and the planner's flat CSR (struct-of-arrays)
+/// edge store, which iterates linearly over `times`/`costs` slices
+/// instead of chasing per-node list pointers.
+///
+/// Implementations must yield a node's out-edges in a **fixed canonical
+/// order** — every exact tie in the search is broken by expansion order,
+/// so two stores that claim bit-identical answers must expand
+/// identically (the planner's CSR mirrors `DiGraph::out_edges` order for
+/// exactly this reason).
+pub trait EdgeExpand {
+    /// Number of nodes; ids are dense in `0..node_count()`.
+    fn node_count(&self) -> usize;
+    /// Visit every out-edge of `v` in canonical order as
+    /// `(edge id, head node, weight, resource)`.
+    fn for_each_out(&mut self, v: u32, f: impl FnMut(EdgeId, u32, f64, f64));
+    /// A topological order over all nodes, or `None` if cyclic.
+    fn topo_order(&self) -> Option<Vec<u32>>;
+}
+
+/// The [`DiGraph`]-backed store: metric closures evaluated on intrusive
+/// adjacency lists (most-recently-added first, as [`DiGraph::out_edges`]
+/// iterates).
+struct ClosureExpand<'g, N, E, W, R> {
+    g: &'g DiGraph<N, E>,
+    weight: W,
+    resource: R,
+}
+
+impl<N, E, W, R> EdgeExpand for ClosureExpand<'_, N, E, W, R>
+where
+    W: FnMut(EdgeId, &E) -> f64,
+    R: FnMut(EdgeId, &E) -> f64,
+{
+    fn node_count(&self) -> usize {
+        self.g.node_count()
+    }
+
+    fn for_each_out(&mut self, v: u32, mut f: impl FnMut(EdgeId, u32, f64, f64)) {
+        for (eid, payload) in self.g.out_edges(NodeId(v)) {
+            let (_, head) = self.g.endpoints(eid);
+            let w = (self.weight)(eid, payload);
+            let r = (self.resource)(eid, payload);
+            f(eid, head.0, w, r);
+        }
+    }
+
+    fn topo_order(&self) -> Option<Vec<u32>> {
+        Some(
+            self.g
+                .topological_order()?
+                .into_iter()
+                .map(|n| n.0)
+                .collect(),
+        )
+    }
+}
+
 /// Compute backward potentials to `target` over a DAG: the minimum
 /// remaining weight and minimum remaining resource from every node, via
 /// one dynamic-programming sweep in reverse topological order (the
@@ -115,30 +175,41 @@ pub struct Potentials {
 pub fn dag_potentials<N, E>(
     g: &DiGraph<N, E>,
     target: NodeId,
-    mut weight: impl FnMut(EdgeId, &E) -> f64,
-    mut resource: impl FnMut(EdgeId, &E) -> f64,
+    weight: impl FnMut(EdgeId, &E) -> f64,
+    resource: impl FnMut(EdgeId, &E) -> f64,
 ) -> Option<Potentials> {
-    let order = g.topological_order()?;
+    dag_potentials_on(
+        &mut ClosureExpand {
+            g,
+            weight,
+            resource,
+        },
+        target.0,
+    )
+}
+
+/// [`dag_potentials`] over any [`EdgeExpand`] store.
+pub fn dag_potentials_on<X: EdgeExpand>(g: &mut X, target: u32) -> Option<Potentials> {
+    let order = g.topo_order()?;
     let n = g.node_count();
     let mut min_weight_to = vec![f64::INFINITY; n];
     let mut min_resource_to = vec![f64::INFINITY; n];
-    min_weight_to[target.0 as usize] = 0.0;
-    min_resource_to[target.0 as usize] = 0.0;
+    min_weight_to[target as usize] = 0.0;
+    min_resource_to[target as usize] = 0.0;
     // Visiting u after all its successors makes one relaxation per edge
     // sufficient; reverse topological order guarantees exactly that.
     for &u in order.iter().rev() {
-        for (eid, payload) in g.out_edges(u) {
-            let (_, v) = g.endpoints(eid);
-            let w = weight(eid, payload) + min_weight_to[v.0 as usize];
-            let r = resource(eid, payload) + min_resource_to[v.0 as usize];
-            let ui = u.0 as usize;
+        let ui = u as usize;
+        g.for_each_out(u, |_, v, ew, er| {
+            let w = ew + min_weight_to[v as usize];
+            let r = er + min_resource_to[v as usize];
             if w < min_weight_to[ui] {
                 min_weight_to[ui] = w;
             }
             if r < min_resource_to[ui] {
                 min_resource_to[ui] = r;
             }
-        }
+        });
     }
     Some(Potentials {
         min_weight_to,
@@ -148,7 +219,7 @@ pub fn dag_potentials<N, E>(
 
 #[derive(Clone, Copy, Debug)]
 struct Label {
-    node: NodeId,
+    node: u32,
     /// Exact accumulated weight along the label's path (kept here, not in
     /// the heap entry, so heap sifts move 24-byte items).
     weight: f64,
@@ -209,7 +280,12 @@ pub fn constrained_shortest_path<N, E>(
     weight: impl FnMut(EdgeId, &E) -> f64,
     resource: impl FnMut(EdgeId, &E) -> f64,
 ) -> Option<CspSolution> {
-    csp_core(g, source, target, bound, weight, resource, Unguided, f64::INFINITY).solution
+    let mut x = ClosureExpand {
+        g,
+        weight,
+        resource,
+    };
+    csp_core(&mut x, source.0, target.0, bound, Unguided, f64::INFINITY).solution
 }
 
 /// [`constrained_shortest_path`] accelerated by precomputed backward
@@ -231,15 +307,32 @@ pub fn constrained_shortest_path_with_bounds<N, E>(
     source: NodeId,
     target: NodeId,
     bound: f64,
-    mut weight: impl FnMut(EdgeId, &E) -> f64,
-    mut resource: impl FnMut(EdgeId, &E) -> f64,
+    weight: impl FnMut(EdgeId, &E) -> f64,
+    resource: impl FnMut(EdgeId, &E) -> f64,
+    lb_weight: &[f64],
+    lb_resource: &[f64],
+) -> CspRun {
+    let mut x = ClosureExpand {
+        g,
+        weight,
+        resource,
+    };
+    constrained_shortest_path_with_bounds_on(&mut x, source.0, target.0, bound, lb_weight, lb_resource)
+}
+
+/// [`constrained_shortest_path_with_bounds`] over any [`EdgeExpand`]
+/// store: same feasibility short-circuit, greedy incumbent and guided
+/// label search, bit-identical answers for an identically-ordered store.
+pub fn constrained_shortest_path_with_bounds_on<X: EdgeExpand>(
+    g: &mut X,
+    source: u32,
+    target: u32,
+    bound: f64,
     lb_weight: &[f64],
     lb_resource: &[f64],
 ) -> CspRun {
     // The source's own potentials decide feasibility outright.
-    if lb_weight[source.0 as usize].is_infinite()
-        || !le_tol(lb_resource[source.0 as usize], bound)
-    {
+    if lb_weight[source as usize].is_infinite() || !le_tol(lb_resource[source as usize], bound) {
         return CspRun {
             solution: None,
             stats: CspStats::default(),
@@ -249,22 +342,12 @@ pub fn constrained_shortest_path_with_bounds<N, E>(
     // path (descending the weight potential reproduces its exact float
     // sum), usable only if that path is itself feasible. Any label whose
     // optimistic completion exceeds it can never be optimal.
-    let best_known = greedy_descent_bound(
-        g,
-        source,
-        target,
-        &mut weight,
-        &mut resource,
-        lb_weight,
-        bound,
-    );
+    let best_known = greedy_descent_bound(g, source, target, lb_weight, bound);
     csp_core(
         g,
         source,
         target,
         bound,
-        weight,
-        resource,
         Guided {
             lb_w: lb_weight,
             lb_r: lb_resource,
@@ -282,9 +365,9 @@ trait Guide {
     /// Whether real lower bounds exist (drives dead-code elimination).
     const GUIDED: bool;
     /// Admissible lower bound on the remaining weight from `v`.
-    fn lb_w(&self, v: NodeId) -> f64;
+    fn lb_w(&self, v: u32) -> f64;
     /// Admissible lower bound on the remaining resource from `v`.
-    fn lb_r(&self, v: NodeId) -> f64;
+    fn lb_r(&self, v: u32) -> f64;
 }
 
 /// Zero lower bounds: the classic lexicographic (weight, resource) search.
@@ -292,11 +375,11 @@ struct Unguided;
 impl Guide for Unguided {
     const GUIDED: bool = false;
     #[inline]
-    fn lb_w(&self, _: NodeId) -> f64 {
+    fn lb_w(&self, _: u32) -> f64 {
         0.0
     }
     #[inline]
-    fn lb_r(&self, _: NodeId) -> f64 {
+    fn lb_r(&self, _: u32) -> f64 {
         0.0
     }
 }
@@ -309,12 +392,12 @@ struct Guided<'a> {
 impl Guide for Guided<'_> {
     const GUIDED: bool = true;
     #[inline]
-    fn lb_w(&self, v: NodeId) -> f64 {
-        self.lb_w[v.0 as usize]
+    fn lb_w(&self, v: u32) -> f64 {
+        self.lb_w[v as usize]
     }
     #[inline]
-    fn lb_r(&self, v: NodeId) -> f64 {
-        self.lb_r[v.0 as usize]
+    fn lb_r(&self, v: u32) -> f64 {
+        self.lb_r[v as usize]
     }
 }
 
@@ -323,14 +406,11 @@ impl Guide for Guided<'_> {
 /// search; with [`Guided`] it becomes the A*-ordered, pruned search.
 /// Either way the settled optimum is the same (see
 /// `constrained_shortest_path_with_bounds` docs for the argument).
-#[allow(clippy::too_many_arguments)]
-fn csp_core<N, E, G: Guide>(
-    g: &DiGraph<N, E>,
-    source: NodeId,
-    target: NodeId,
+fn csp_core<X: EdgeExpand, G: Guide>(
+    g: &mut X,
+    source: u32,
+    target: u32,
     bound: f64,
-    mut weight: impl FnMut(EdgeId, &E) -> f64,
-    mut resource: impl FnMut(EdgeId, &E) -> f64,
     guide: G,
     best_known: f64,
 ) -> CspRun {
@@ -366,11 +446,11 @@ fn csp_core<N, E, G: Guide>(
         } = labels[label_idx];
         // Dominance check at settle time (lazy deletion): everything
         // settled here already has weight <= w0.
-        if le_tol(frontier_min_r[node.0 as usize], r0) {
+        if le_tol(frontier_min_r[node as usize], r0) {
             stats.pruned_dominated += 1;
             continue;
         }
-        frontier_min_r[node.0 as usize] = r0;
+        frontier_min_r[node as usize] = r0;
         stats.labels_settled += 1;
 
         if node == target {
@@ -392,29 +472,26 @@ fn csp_core<N, E, G: Guide>(
             };
         }
 
-        for (eid, payload) in g.out_edges(node) {
-            let ew = weight(eid, payload);
-            let er = resource(eid, payload);
+        g.for_each_out(node, |eid, v, ew, er| {
             debug_assert!(ew >= 0.0 && er >= 0.0, "RCSP requires non-negative metrics");
             let nw = w0 + ew;
             let nr = r0 + er;
-            let (_, v) = g.endpoints(eid);
             // Optimistic completion: admissible bounds mean these checks
             // can only discard labels that provably cannot finish
             // feasibly (resource) or optimally (weight).
             let pr = if G::GUIDED { nr + guide.lb_r(v) } else { nr };
             if !le_tol(pr, bound) {
                 stats.pruned_bound += 1;
-                continue;
+                return;
             }
             let pw = if G::GUIDED { nw + guide.lb_w(v) } else { nw };
             if G::GUIDED && !le_tol(pw, best_known) {
                 stats.pruned_upper_bound += 1;
-                continue;
+                return;
             }
-            if le_tol(frontier_min_r[v.0 as usize], nr) {
+            if le_tol(frontier_min_r[v as usize], nr) {
                 stats.pruned_dominated += 1;
-                continue;
+                return;
             }
             let idx = labels.len();
             labels.push(Label {
@@ -429,7 +506,7 @@ fn csp_core<N, E, G: Guide>(
                 label_idx: idx,
             });
             stats.labels_created += 1;
-        }
+        });
     }
     CspRun {
         solution: None,
@@ -442,33 +519,30 @@ fn csp_core<N, E, G: Guide>(
 /// an edge exists by the DP definition of the potential). Returns that
 /// path's exact accumulated weight if its accumulated resource meets
 /// `bound`, else `INFINITY` (no incumbent).
-fn greedy_descent_bound<N, E>(
-    g: &DiGraph<N, E>,
-    source: NodeId,
-    target: NodeId,
-    weight: &mut impl FnMut(EdgeId, &E) -> f64,
-    resource: &mut impl FnMut(EdgeId, &E) -> f64,
+fn greedy_descent_bound<X: EdgeExpand>(
+    g: &mut X,
+    source: u32,
+    target: u32,
     lb_w: &[f64],
     bound: f64,
 ) -> f64 {
-    if lb_w[source.0 as usize].is_infinite() {
+    if lb_w[source as usize].is_infinite() {
         return f64::INFINITY;
     }
     let (mut node, mut w, mut r) = (source, 0.0f64, 0.0f64);
     while node != target {
-        let mut best: Option<(f64, EdgeId, NodeId)> = None;
-        for (eid, payload) in g.out_edges(node) {
-            let (_, v) = g.endpoints(eid);
-            let through = weight(eid, payload) + lb_w[v.0 as usize];
-            if best.is_none_or(|(bw, _, _)| through < bw) {
-                best = Some((through, eid, v));
+        let mut best: Option<(f64, u32, f64, f64)> = None;
+        g.for_each_out(node, |_, v, ew, er| {
+            let through = ew + lb_w[v as usize];
+            if best.is_none_or(|(bw, _, _, _)| through < bw) {
+                best = Some((through, v, ew, er));
             }
-        }
-        let Some((_, eid, v)) = best else {
+        });
+        let Some((_, v, ew, er)) = best else {
             return f64::INFINITY; // dead end: no usable incumbent
         };
-        w += weight(eid, g.edge(eid));
-        r += resource(eid, g.edge(eid));
+        w += ew;
+        r += er;
         node = v;
     }
     if le_tol(r, bound) {

@@ -123,6 +123,94 @@ pub fn shortest_path<N, E>(
     })
 }
 
+/// A*: [`shortest_path`] guided by a per-node admissible, *consistent*
+/// lower bound `lb[v]` on the remaining distance from `v` to `target`
+/// (e.g. the weight potentials of `csp::dag_potentials`). The heap is
+/// keyed on `d + lb[v]`, so the search settles far fewer nodes while the
+/// returned path and its exact float weight match plain Dijkstra
+/// whenever weights are tie-free (both settle nodes once, relax with
+/// strict `<`, and accumulate `d + w` identically along the chosen
+/// path).
+///
+/// Consistency (`lb[u] <= w(u→v) + lb[v]` on every *enabled* edge) keeps
+/// the settle-once property; bounds computed on a supergraph stay valid
+/// when `enabled` masks edges away, because removing edges only raises
+/// true distances — exactly the shape of the paper's Algorithm 1, which
+/// re-runs this search after each edge removal. Nodes with
+/// `lb[v] = INFINITY` (cannot reach the target at all) are never pushed.
+pub fn shortest_path_guided<N, E>(
+    g: &DiGraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    mut weight: impl FnMut(EdgeId, &E) -> f64,
+    mut enabled: impl FnMut(EdgeId) -> bool,
+    lb: &[f64],
+) -> Option<ShortestPath> {
+    let n = g.node_count();
+    if lb[source.0 as usize].is_infinite() {
+        return None;
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<EdgeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+
+    dist[source.0 as usize] = 0.0;
+    heap.push(HeapEntry {
+        dist: lb[source.0 as usize],
+        node: source,
+    });
+
+    while let Some(HeapEntry { node: u, .. }) = heap.pop() {
+        let ui = u.0 as usize;
+        if done[ui] {
+            continue;
+        }
+        done[ui] = true;
+        if u == target {
+            break;
+        }
+        let d = dist[ui];
+        for (eid, payload) in g.out_edges(u) {
+            if !enabled(eid) {
+                continue;
+            }
+            let w = weight(eid, payload);
+            debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+            let (_, v) = g.endpoints(eid);
+            let vi = v.0 as usize;
+            if lb[vi].is_infinite() {
+                continue; // cannot reach the target from v
+            }
+            let nd = d + w;
+            if nd < dist[vi] {
+                dist[vi] = nd;
+                prev[vi] = Some(eid);
+                heap.push(HeapEntry {
+                    dist: nd + lb[vi],
+                    node: v,
+                });
+            }
+        }
+    }
+
+    if !done[target.0 as usize] || !dist[target.0 as usize].is_finite() {
+        return None;
+    }
+    let mut edges = Vec::new();
+    let mut cur = target;
+    while cur != source {
+        let e = prev[cur.0 as usize].expect("broken predecessor chain");
+        edges.push(e);
+        cur = g.endpoints(e).0;
+    }
+    edges.reverse();
+    Some(ShortestPath {
+        weight: dist[target.0 as usize],
+        edges,
+    })
+}
+
 /// Convenience wrapper: shortest path with all edges enabled.
 pub fn shortest_path_all<N, E>(
     g: &DiGraph<N, E>,
@@ -252,6 +340,49 @@ mod tests {
                 (None, None) => {}
                 (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
                 other => panic!("mismatch: {other:?}"),
+            }
+        }
+    }
+
+    /// The A*-guided search matches plain Dijkstra bit-for-bit on random
+    /// DAGs when guided by its own exact backward potentials, including
+    /// under edge masks computed against the *unmasked* potentials (the
+    /// Algorithm 1 usage pattern).
+    #[test]
+    fn guided_matches_plain_under_masks() {
+        let mut rng = StdRng::seed_from_u64(515);
+        for case in 0..50 {
+            let n = rng.random_range(3..25usize);
+            let mut g: DiGraph<(), f64> = DiGraph::new();
+            let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+            let mut eids = Vec::new();
+            for i in 0..n - 1 {
+                eids.push(g.add_edge(nodes[i], nodes[i + 1], rng.random_range(0.01..5.0)));
+                for j in (i + 2)..n {
+                    if rng.random::<f64>() < 0.3 {
+                        eids.push(g.add_edge(nodes[i], nodes[j], rng.random_range(0.01..5.0)));
+                    }
+                }
+            }
+            let (s, t) = (nodes[0], nodes[n - 1]);
+            let pot = crate::csp::dag_potentials(&g, t, |_, e| *e, |_, _| 0.0).unwrap();
+            // Mask a random subset of edges; the unmasked potentials stay
+            // admissible and consistent on the subgraph.
+            let masked: Vec<EdgeId> = eids
+                .iter()
+                .copied()
+                .filter(|_| rng.random::<f64>() < 0.2)
+                .collect();
+            let enabled = |e: EdgeId| !masked.contains(&e);
+            let plain = shortest_path(&g, s, t, w, enabled);
+            let guided = shortest_path_guided(&g, s, t, w, enabled, &pot.min_weight_to);
+            match (&plain, &guided) {
+                (None, None) => {}
+                (Some(p), Some(q)) => {
+                    assert_eq!(p.weight.to_bits(), q.weight.to_bits(), "case {case}: weight");
+                    assert_eq!(p.edges, q.edges, "case {case}: path");
+                }
+                other => panic!("case {case}: reachability mismatch {other:?}"),
             }
         }
     }

@@ -24,9 +24,10 @@ pub mod graph;
 pub mod yen;
 
 pub use csp::{
-    constrained_shortest_path, constrained_shortest_path_with_bounds, dag_potentials, CspRun,
-    CspSolution, CspStats, Potentials,
+    constrained_shortest_path, constrained_shortest_path_with_bounds,
+    constrained_shortest_path_with_bounds_on, dag_potentials, dag_potentials_on, CspRun,
+    CspSolution, CspStats, EdgeExpand, Potentials,
 };
-pub use dijkstra::{shortest_path, ShortestPath};
+pub use dijkstra::{shortest_path, shortest_path_guided, ShortestPath};
 pub use graph::{DiGraph, EdgeId, NodeId};
 pub use yen::KShortestPaths;

@@ -45,9 +45,10 @@ pub struct SimCase<'a> {
 /// Chrome trace shows how the sweep was scheduled across cores. Purely
 /// observational: the reports are unchanged.
 pub fn simulate_batch(cases: Vec<SimCase<'_>>) -> Vec<Result<SimReport, SimError>> {
-    let cases: Vec<(usize, SimCase<'_>)> = cases.into_iter().enumerate().collect();
     cases
         .into_par_iter()
+        .enumerate()
+        .with_min_len(1)
         .map(|(index, c)| {
             let tel = c.config.telemetry.clone();
             let _span = if tel.enabled() {

@@ -61,15 +61,41 @@ pub fn runtime_cost(secs: f64, mem_mb: u32, lambda: &LambdaPricing) -> Money {
     lambda.runtime_cost(mem_mb, (secs * 1e6).round() as u64)
 }
 
+/// Total runtime charge for a fleet of executions, pricing each run of
+/// bit-identical durations once and multiplying by its length. Equals
+/// the per-execution sum exactly — [`Money`] amounts are integers, so
+/// `x + x + … + x == x * m` — while evaluating the billing model
+/// `O(runs)` times instead of `O(executions)`: under an even split all
+/// workers but the remainder-holding last share one duration.
+fn runtime_sum(secs: &[f64], mem_mb: u32, lambda: &LambdaPricing) -> Money {
+    let mut total = Money::ZERO;
+    let mut i = 0;
+    while i < secs.len() {
+        let t = secs[i];
+        let mut run = 1usize;
+        while i + run < secs.len() && secs[i + run].to_bits() == t.to_bits() {
+            run += 1;
+        }
+        total += runtime_cost(t, mem_mb, lambda) * run as u64;
+        i += run;
+    }
+    total
+}
+
 /// Everything the mapping phase costs (`U1 + V1 + W1`, Eq. 10/11/13):
 /// `N` GETs + `j` PUTs, input storage during `T1`, per-mapper billed
 /// runtime, and `j` invocation fees.
+///
+/// `job_total_mb` must be `job.total_mb()` — passed in so the planner's
+/// DAG builder can amortize the `O(N)` size scan across its hundreds of
+/// thousands of edge evaluations instead of repeating it per call.
 pub fn mapper_edge_cost(
     job: &JobSpec,
     phase: &MapperPhase,
     mem_mb: u32,
     platform: &Platform,
     catalog: &PriceCatalog,
+    job_total_mb: f64,
 ) -> Money {
     let j = phase.per_mapper_secs.len() as u64;
     // Inputs are read from S3; the shuffle objects are ephemeral writes.
@@ -77,12 +103,8 @@ pub fn mapper_edge_cost(
         catalog.s3.get_cost(job.num_objects() as u64) + inter_put_price(platform, catalog) * j;
     let storage = catalog
         .s3
-        .storage_cost(job.total_mb(), (phase.duration_s * 1e6).round() as u64);
-    let runtime: Money = phase
-        .per_mapper_secs
-        .iter()
-        .map(|&t| runtime_cost(t, mem_mb, &catalog.lambda))
-        .sum();
+        .storage_cost(job_total_mb, (phase.duration_s * 1e6).round() as u64);
+    let runtime = runtime_sum(&phase.per_mapper_secs, mem_mb, &catalog.lambda);
     let invocations = catalog.lambda.per_invocation * j;
     requests + storage + runtime + invocations + rental_cost(platform, phase.duration_s)
 }
@@ -117,21 +139,27 @@ pub fn orchestration_requests_cost(
 /// Storage cost during the coordinator window (`V2`, Eq. 11): input `D`,
 /// state objects `S`, and the reducing phase's pending input volume `Q`,
 /// held for `T2` seconds.
+///
+/// `job_total_mb` must be `job.total_mb()` and `pending_input_mb` must
+/// be `schedule::total_input_mb(&structure.steps)` — both hoisted to the
+/// caller because this runs once per coordinator tier and the inputs
+/// depend only on the job and the `(k_M, k_R)` structure.
 pub fn coordinator_storage_cost(
     job: &JobSpec,
     structure: &ReduceStructure,
     t2_s: f64,
     platform: &Platform,
     catalog: &PriceCatalog,
+    job_total_mb: f64,
+    pending_input_mb: f64,
 ) -> Money {
     let state_mb = job.profile.state_object_mb * structure.num_steps() as f64;
-    let q = schedule::total_input_mb(&structure.steps);
     // Input objects stay in S3; the pending shuffle volume and state
     // objects are ephemeral.
     catalog
         .s3
-        .storage_cost(job.total_mb(), (t2_s * 1e6).round() as u64)
-        + inter_storage_cost(platform, catalog, state_mb + q, t2_s)
+        .storage_cost(job_total_mb, (t2_s * 1e6).round() as u64)
+        + inter_storage_cost(platform, catalog, state_mb + pending_input_mb, t2_s)
         + rental_cost(platform, t2_s)
 }
 
@@ -140,6 +168,8 @@ pub fn coordinator_storage_cost(
 /// (`VP + WP + W2`, Eq. 11/14/15). The coordinator's bill lands here, on
 /// the planner DAG's final edge set, because its waiting time depends on
 /// the reducer tier chosen (see `astra-core::dag`).
+///
+/// `job_total_mb` must be `job.total_mb()` (see [`mapper_edge_cost`]).
 #[allow(clippy::too_many_arguments)] // mirrors the DAG edge's full context
 pub fn reduce_edge_cost(
     job: &JobSpec,
@@ -150,20 +180,19 @@ pub fn reduce_edge_cost(
     coordinator_billed_s: f64,
     platform: &Platform,
     catalog: &PriceCatalog,
+    job_total_mb: f64,
 ) -> Money {
     let state_mb = job.profile.state_object_mb * structure.num_steps() as f64;
     let r = schedule::total_output_mb(&structure.steps);
     let tp = times.duration_s();
     let storage = catalog
         .s3
-        .storage_cost(job.total_mb(), (tp * 1e6).round() as u64)
+        .storage_cost(job_total_mb, (tp * 1e6).round() as u64)
         + inter_storage_cost(platform, catalog, state_mb + r, tp)
         + rental_cost(platform, tp);
     let mut reducer_runtime = Money::ZERO;
     for step in &times.per_reducer_s {
-        for &t in step {
-            reducer_runtime += runtime_cost(t, reducer_mem_mb, &catalog.lambda);
-        }
+        reducer_runtime += runtime_sum(step, reducer_mem_mb, &catalog.lambda);
     }
     let coord_runtime = runtime_cost(coordinator_billed_s, coord_mem_mb, &catalog.lambda);
     storage + reducer_runtime + coord_runtime
@@ -223,12 +252,13 @@ pub fn full_cost(
     let t1 = perf.mapper.duration_s;
     let t2 = perf.coordinator_s();
     let tp = perf.reduce.duration_s();
+    let total_mb = job.total_mb();
     let storage = catalog
         .s3
-        .storage_cost(job.total_mb(), (t1 * 1e6).round() as u64)
-        + catalog.s3.storage_cost(job.total_mb(), (t2 * 1e6).round() as u64)
+        .storage_cost(total_mb, (t1 * 1e6).round() as u64)
+        + catalog.s3.storage_cost(total_mb, (t2 * 1e6).round() as u64)
         + inter_storage_cost(platform, catalog, state_mb + q, t2)
-        + catalog.s3.storage_cost(job.total_mb(), (tp * 1e6).round() as u64)
+        + catalog.s3.storage_cost(total_mb, (tp * 1e6).round() as u64)
         + inter_storage_cost(platform, catalog, state_mb + r, tp)
         + rental_cost(platform, t1)
         + rental_cost(platform, t2)
@@ -297,8 +327,15 @@ mod tests {
         {
             let (job, config, perf) = setup(n, k_m, k_r, mem);
             let platform = Platform::paper_literal(10.0);
-            let e1 =
-                mapper_edge_cost(&job, &perf.mapper, config.mapper_mem_mb, &platform, &catalog);
+            let total_mb = job.total_mb();
+            let e1 = mapper_edge_cost(
+                &job,
+                &perf.mapper,
+                config.mapper_mem_mb,
+                &platform,
+                &catalog,
+                total_mb,
+            );
             let e2 = orchestration_requests_cost(&perf.reduce.structure, &platform, &catalog);
             let e3 = coordinator_storage_cost(
                 &job,
@@ -306,6 +343,8 @@ mod tests {
                 perf.coordinator_s(),
                 &platform,
                 &catalog,
+                total_mb,
+                schedule::total_input_mb(&perf.reduce.structure.steps),
             );
             let e4 = reduce_edge_cost(
                 &job,
@@ -316,6 +355,7 @@ mod tests {
                 perf.coordinator_billed_s(),
                 &platform,
                 &catalog,
+                total_mb,
             );
             let total = full_cost(&job, &config, &perf, &platform, &catalog).total();
             assert_eq!(

@@ -162,6 +162,13 @@ impl ReduceTierTimes {
 }
 
 /// Evaluate reducer lifetimes for one memory tier.
+///
+/// Adjacent reducers with bit-identical assignments share one computed
+/// lifetime: under an even split every reducer of a step except possibly
+/// the remainder-holding last one reads the same object sizes, so the
+/// per-row model runs `O(steps)` times instead of `O(reducers)` — and
+/// returns the exact value the repeated fold would, because the reused
+/// number *is* that fold's result for identical input bits.
 pub fn reduce_tier_times(
     structure: &ReduceStructure,
     platform: &Platform,
@@ -169,21 +176,34 @@ pub fn reduce_tier_times(
     mem_mb: u32,
 ) -> ReduceTierTimes {
     let secs_per_mb = platform.secs_per_mb(mem_mb, profile.reduce_secs_per_mb_128);
+    // Everything a reducer touches is ephemeral data.
+    let state_get_s = platform.inter_get_secs(mem_mb, profile.state_object_mb);
+    let row_time = |objs: &[f64], out: f64| {
+        state_get_s
+            + objs.iter().map(|&d| platform.inter_get_secs(mem_mb, d)).sum::<f64>()
+            + objs.iter().sum::<f64>() * secs_per_mb
+            + platform.inter_put_secs(mem_mb, out)
+    };
+    let same_row = |a: &[f64], b: &[f64]| {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    };
     let mut per_reducer = Vec::with_capacity(structure.steps.len());
     let mut per_step_max = Vec::with_capacity(structure.steps.len());
     for step in &structure.steps {
-        let times: Vec<f64> = step
-            .assignments
-            .iter()
-            .zip(&step.output_sizes)
-            .map(|(objs, &out)| {
-                // Everything a reducer touches is ephemeral data.
-                platform.inter_get_secs(mem_mb, profile.state_object_mb)
-                    + objs.iter().map(|&d| platform.inter_get_secs(mem_mb, d)).sum::<f64>()
-                    + objs.iter().sum::<f64>() * secs_per_mb
-                    + platform.inter_put_secs(mem_mb, out)
-            })
-            .collect();
+        let mut times: Vec<f64> = Vec::with_capacity(step.assignments.len());
+        let mut prev: Option<(&[f64], f64, f64)> = None;
+        for (objs, &out) in step.assignments.iter().zip(&step.output_sizes) {
+            let t = match prev {
+                Some((pobjs, pout, pt))
+                    if pout.to_bits() == out.to_bits() && same_row(pobjs, objs) =>
+                {
+                    pt
+                }
+                _ => row_time(objs, out),
+            };
+            prev = Some((objs, out, t));
+            times.push(t);
+        }
         per_step_max.push(
             times.iter().cloned().fold(0.0, f64::max)
                 + structure.per_step_spawn_s[per_reducer.len()],

@@ -49,6 +49,19 @@ impl StorageLedger {
         Self::default()
     }
 
+    /// Reset every counter and drop all tracked objects, keeping the
+    /// live-object vector's allocated capacity. After `reset()` the
+    /// ledger is observationally identical to [`StorageLedger::new`],
+    /// which is what lets a sim arena reuse one allocation across runs.
+    pub fn reset(&mut self) {
+        self.gets = 0;
+        self.puts = 0;
+        self.live.clear();
+        self.closed_mb_us = 0.0;
+        self.bytes_read_mb = 0.0;
+        self.bytes_written_mb = 0.0;
+    }
+
     /// Record a PUT creating (or overwriting) `key` with `size_mb` at `now`.
     pub fn record_put(&mut self, key: impl Into<String>, size_mb: f64, now: SimTime) {
         assert!(size_mb >= 0.0, "negative object size");
@@ -221,6 +234,19 @@ mod tests {
         l.record_delete("a", t(1));
         assert!(!l.exists("a"));
         assert_eq!(l.size_of("a"), None);
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_ledger() {
+        let mut l = StorageLedger::new();
+        l.record_put("a", 10.0, t(0));
+        l.record_get(5.0);
+        l.record_delete("a", t(2));
+        l.reset();
+        assert!(!l.exists("a"));
+        let snap = l.snapshot(t(100));
+        let fresh = StorageLedger::new().snapshot(t(100));
+        assert_eq!(snap, fresh);
     }
 
     #[test]

@@ -70,16 +70,27 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// Run `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// Worker count for a parallel pass over `len` items with a minimum
+/// chunk size of `min_len`: enough threads that every chunk holds at
+/// least `min_len` items, never more than [`current_num_threads`].
+/// Spawning a thread for a handful of cheap items costs more than the
+/// items themselves; the `with_min_len` hint is how callers say so.
+fn effective_threads(len: usize, min_len: usize) -> usize {
+    current_num_threads()
+        .min(len.div_ceil(min_len.max(1)))
+        .min(len.max(1))
+}
+
+/// Run `f` over `items` on up to [`effective_threads`] scoped threads,
 /// returning outputs in input order.
-fn run_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+fn run_map<T, U, F>(items: Vec<T>, min_len: usize, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
     let len = items.len();
-    let threads = current_num_threads().min(len.max(1));
+    let threads = effective_threads(len, min_len);
     if threads <= 1 || len <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -110,6 +121,9 @@ where
 /// the implementation obviously correct.
 pub struct ParIter<T> {
     items: Vec<T>,
+    /// Minimum items per worker chunk (the `with_min_len` hint);
+    /// propagated through adapters like rayon's producer splitting.
+    min_len: usize,
 }
 
 impl<T: Send> ParIter<T> {
@@ -117,30 +131,37 @@ impl<T: Send> ParIter<T> {
     pub fn enumerate(self) -> ParIter<(usize, T)> {
         ParIter {
             items: self.items.into_iter().enumerate().collect(),
+            min_len: self.min_len,
         }
     }
 
     /// Parallel map; output order equals input order.
     pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
         ParIter {
-            items: run_map(self.items, f),
+            items: run_map(self.items, self.min_len, f),
+            min_len: self.min_len,
         }
     }
 
     /// Parallel filter-map; surviving items keep their relative order.
     pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
         ParIter {
-            items: run_map(self.items, f).into_iter().flatten().collect(),
+            items: run_map(self.items, self.min_len, f)
+                .into_iter()
+                .flatten()
+                .collect(),
+            min_len: self.min_len,
         }
     }
 
     /// Parallel filter.
     pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
         ParIter {
-            items: run_map(self.items, |t| if f(&t) { Some(t) } else { None })
+            items: run_map(self.items, self.min_len, |t| if f(&t) { Some(t) } else { None })
                 .into_iter()
                 .flatten()
                 .collect(),
+            min_len: self.min_len,
         }
     }
 
@@ -152,16 +173,19 @@ impl<T: Send> ParIter<T> {
         F: Fn(T) -> I + Sync,
     {
         ParIter {
-            items: run_map(self.items, |t| f(t).into_iter().collect::<Vec<U>>())
-                .into_iter()
-                .flatten()
-                .collect(),
+            items: run_map(self.items, self.min_len, |t| {
+                f(t).into_iter().collect::<Vec<U>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect(),
+            min_len: self.min_len,
         }
     }
 
     /// Parallel for-each.
     pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
-        run_map(self.items, &f);
+        run_map(self.items, self.min_len, &f);
     }
 
     /// Rayon-style reduction: per-chunk folds combined in chunk order.
@@ -172,7 +196,7 @@ impl<T: Send> ParIter<T> {
         OP: Fn(T, T) -> T + Sync,
     {
         let len = self.items.len();
-        let threads = current_num_threads().min(len.max(1));
+        let threads = effective_threads(len, self.min_len);
         if threads <= 1 || len <= 1 {
             return self.items.into_iter().fold(identity(), &op);
         }
@@ -221,9 +245,15 @@ impl<T: Send> ParIter<T> {
         self.items.into_iter().collect()
     }
 
-    /// Rayon compatibility no-op (chunking hints do not apply here).
-    pub fn with_min_len(self, _len: usize) -> Self {
-        self
+    /// Require at least `len` items per worker chunk. Caps the effective
+    /// worker count at `ceil(items / len)`, so short inputs of cheap
+    /// items stop paying a thread spawn per handful of elements. `0` is
+    /// treated as `1` (rayon's semantics: no constraint).
+    pub fn with_min_len(self, len: usize) -> Self {
+        ParIter {
+            items: self.items,
+            min_len: len.max(1),
+        }
     }
 }
 
@@ -245,7 +275,10 @@ pub trait IntoParallelIterator {
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
     fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
+        ParIter {
+            items: self,
+            min_len: 1,
+        }
     }
 }
 
@@ -257,6 +290,7 @@ where
     fn into_par_iter(self) -> ParIter<T> {
         ParIter {
             items: self.collect(),
+            min_len: 1,
         }
     }
 }
@@ -274,6 +308,7 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     fn par_iter(&'a self) -> ParIter<&'a T> {
         ParIter {
             items: self.iter().collect(),
+            min_len: 1,
         }
     }
 }
@@ -283,6 +318,7 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     fn par_iter(&'a self) -> ParIter<&'a T> {
         ParIter {
             items: self.iter().collect(),
+            min_len: 1,
         }
     }
 }
@@ -341,6 +377,43 @@ mod tests {
         std::env::set_var("RAYON_NUM_THREADS", "3");
         assert_eq!(current_num_threads(), 3);
         std::env::remove_var("RAYON_NUM_THREADS");
+    }
+
+    #[test]
+    fn with_min_len_caps_worker_fanout() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        set_global_threads(8);
+        let seen = Mutex::new(HashSet::new());
+        (0..8usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .with_min_len(4)
+            .for_each(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            });
+        // ceil(8 / 4) = 2 chunks: at most two distinct workers.
+        assert!(seen.lock().unwrap().len() <= 2);
+        assert_eq!(effective_threads(8, 4), 2);
+        assert_eq!(effective_threads(8, 1), 8);
+        assert_eq!(effective_threads(3, 100), 1);
+        assert_eq!(effective_threads(0, 0), 0);
+        set_global_threads(0);
+    }
+
+    #[test]
+    fn min_len_survives_adapter_chains() {
+        set_global_threads(8);
+        let out: Vec<usize> = (0..10usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .with_min_len(5)
+            .enumerate()
+            .map(|(i, x)| i + x)
+            .filter(|&v| v % 2 == 0)
+            .collect();
+        set_global_threads(0);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14, 16, 18]);
     }
 
     #[test]

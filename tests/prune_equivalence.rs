@@ -62,8 +62,20 @@ struct Solvers {
 
 impl Solvers {
     fn new(job: JobSpec, platform: Platform, tiers: &[u32]) -> Solvers {
-        let catalog = PriceCatalog::aws_2020();
         let space = ConfigSpace::with_tiers(&job, &platform, tiers);
+        Self::with_space(job, platform, space)
+    }
+
+    /// Same harness over the collapsed (bundled) production space,
+    /// restricted to `tiers` so the exhaustive reference stays cheap.
+    fn bundled(job: JobSpec, platform: Platform, tiers: &[u32]) -> Solvers {
+        let mut space = ConfigSpace::bundled(&job, &platform);
+        space.memory_tiers_mb = tiers.to_vec();
+        Self::with_space(job, platform, space)
+    }
+
+    fn with_space(job: JobSpec, platform: Platform, space: ConfigSpace) -> Solvers {
+        let catalog = PriceCatalog::aws_2020();
         let full_dag = PlannerDag::build_with(&job, &platform, &catalog, &space, PruneConfig::off());
         let pruned_dag =
             PlannerDag::build_with(&job, &platform, &catalog, &space, PruneConfig::on());
@@ -152,6 +164,16 @@ proptest! {
     #[test]
     fn pruned_potentials_match_on_paper_platform(job in arb_job()) {
         Solvers::new(job, Platform::paper_literal(10.0), &[128, 512, 3008]).assert_equivalent();
+    }
+
+    /// The collapsed (bundled) production space: the accelerated path —
+    /// pruned SoA DAG + potentials — must agree bit-for-bit with the
+    /// unpruned plain CSP and the exhaustive sweep over the *same*
+    /// bundled space, across the whole bound grid. This is the
+    /// equivalence gate for the production-N build.
+    #[test]
+    fn collapsed_space_matches_unpruned_solvers(job in arb_job()) {
+        Solvers::bundled(job, Platform::aws_lambda(), &[128, 768, 1792]).assert_equivalent();
     }
 }
 
