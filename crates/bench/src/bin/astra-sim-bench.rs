@@ -19,7 +19,11 @@
 //!   `astra-service` daemon (2 workers, session cache warm after the
 //!   first job) and drained to terminal snapshots, so the whole
 //!   submit→admit→plan→simulate pipeline is gated, with jobs/sec
-//!   recorded alongside the timing.
+//!   recorded alongside the timing;
+//! * `service_net_roundtrip/N{n}` — the same jobs submitted serially
+//!   over loopback TCP through the PROTOCOL.md line protocol, each
+//!   blocking on `await`, so the wire framing + JSON codec + socket
+//!   overhead per submit→Done roundtrip is gated too.
 //!
 //! ```text
 //! astra-sim-bench [--out FILE]          write results (default BENCH_sim.json)
@@ -40,7 +44,9 @@ use astra_core::{Objective, Strategy};
 use astra_faas::{derive_seed, SimConfig};
 use astra_mapreduce::{simulate, simulate_batch, SimCase};
 use astra_model::Platform;
-use astra_service::{JobRequest, ServiceConfig, ServiceDaemon, SimOptions};
+use astra_service::{
+    JobRequest, NetClient, NetConfig, NetServer, ServiceConfig, ServiceDaemon, SimOptions,
+};
 use serde_json::{json, Value};
 
 /// Replications per sweep bench: enough to keep every core busy.
@@ -203,6 +209,60 @@ fn run_suite(args: &BenchArgs) -> Value {
             "min_ms": svc_min,
             "jobs_per_sec": jobs_per_sec,
         }));
+
+        // Networked roundtrip latency: the same jobs submitted one at a
+        // time over loopback TCP (PROTOCOL.md line protocol), each
+        // submit blocking on `await` before the next — so this times
+        // SWEEP_RUNS full submit→Done roundtrips including framing,
+        // strict-JSON decode/encode and the socket hop. The server and
+        // connection are reused across samples; only the roundtrips are
+        // timed.
+        let net_daemon = ServiceDaemon::start(
+            ServiceConfig::default()
+                .with_workers(2)
+                .with_telemetry(astra_telemetry::Telemetry::disabled()),
+        );
+        let server = NetServer::start(
+            net_daemon.handle(),
+            "127.0.0.1:0",
+            NetConfig::default(),
+            astra_telemetry::Telemetry::disabled(),
+        )
+        .expect("bind loopback");
+        let mut client =
+            NetClient::connect(&server.local_addr().to_string()).expect("connect loopback");
+        let (net_mean, net_min) = time_ms(args.samples, || {
+            (0..SWEEP_RUNS)
+                .map(|i| {
+                    let request =
+                        JobRequest::new(format!("net-{i}"), job.clone(), Objective::fastest())
+                            .with_sim(SimOptions {
+                                noise_cv: NOISE_CV,
+                                seed: derive_seed(7, i),
+                                replications: 1,
+                            });
+                    let id = client.submit_id(&request).expect("wire submit accepted");
+                    let done = client.await_done(id).expect("await roundtrip");
+                    assert_eq!(done["job"]["status"].as_str(), Some("DONE"));
+                })
+                .count()
+        });
+        let ms_per_roundtrip = net_min / SWEEP_RUNS as f64;
+        eprintln!(
+            "bench service_net_roundtrip/N{n}: mean {net_mean:.2} ms, min {net_min:.2} ms \
+             ({ms_per_roundtrip:.3} ms/roundtrip)"
+        );
+        results.push(json!({
+            "name": format!("service_net_roundtrip/N{n}"),
+            "n": n,
+            "jobs": SWEEP_RUNS,
+            "mean_ms": net_mean,
+            "min_ms": net_min,
+            "ms_per_roundtrip": ms_per_roundtrip,
+        }));
+        drop(client);
+        server.shutdown();
+        net_daemon.shutdown();
     }
 
     json!({

@@ -46,6 +46,9 @@ pub struct ServeOpts {
     pub trace_out: Option<String>,
     /// Print telemetry counters after the run (`--metrics`).
     pub metrics: bool,
+    /// Bind the TCP line-protocol listener here (`--listen HOST:PORT`)
+    /// and serve until stdin closes, instead of running the demo mix.
+    pub listen: Option<String>,
 }
 
 impl Default for ServeOpts {
@@ -59,6 +62,7 @@ impl Default for ServeOpts {
             threads: None,
             trace_out: None,
             metrics: false,
+            listen: None,
         }
     }
 }
@@ -75,6 +79,11 @@ pub struct SubmitOpts {
     /// Emit the full snapshot as wire JSON instead of the human table
     /// (`--json`).
     pub json: bool,
+    /// Submit over TCP to a running `astra serve --listen` server
+    /// (`--connect HOST:PORT`) instead of a fresh in-process daemon.
+    pub connect: Option<String>,
+    /// Tenant name stamped on the request (`--tenant`, default "").
+    pub tenant: Option<String>,
 }
 
 /// A parsed CLI invocation.
@@ -321,6 +330,10 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, ParseError> {
                 opts.metrics = true;
                 i += 1;
             }
+            "--listen" | "-l" => {
+                opts.listen = Some(value()?.clone());
+                i += 2;
+            }
             other => return Err(ParseError::BadFlag(other.to_string())),
         }
     }
@@ -333,6 +346,8 @@ fn parse_submit_opts(args: &[String]) -> Result<SubmitOpts, ParseError> {
     let mut workers = 2usize;
     let mut reps = 1u32;
     let mut json = false;
+    let mut connect = None;
+    let mut tenant = None;
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -358,6 +373,14 @@ fn parse_submit_opts(args: &[String]) -> Result<SubmitOpts, ParseError> {
                 json = true;
                 i += 1;
             }
+            "--connect" | "-c" => {
+                connect = Some(value()?.clone());
+                i += 2;
+            }
+            "--tenant" => {
+                tenant = Some(value()?.clone());
+                i += 2;
+            }
             _ => {
                 rest.push(args[i].clone());
                 i += 1;
@@ -369,6 +392,8 @@ fn parse_submit_opts(args: &[String]) -> Result<SubmitOpts, ParseError> {
         workers,
         reps,
         json,
+        connect,
+        tenant,
     })
 }
 
@@ -547,5 +572,50 @@ mod tests {
 
         assert!(matches!(parse(&argv("submit --workers")), Err(ParseError::MissingValue(_))));
         assert!(matches!(parse(&argv("submit --wat 3")), Err(ParseError::BadFlag(_))));
+    }
+
+    #[test]
+    fn serve_listen_parses() {
+        let cmd = parse(&argv("serve --listen 127.0.0.1:7878 --workers 4")).unwrap();
+        let Command::Serve(opts) = cmd else { panic!() };
+        assert_eq!(opts.listen.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(opts.workers, 4);
+
+        // Default is the in-process demo mix.
+        let Command::Serve(opts) = parse(&argv("serve")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.listen, None);
+
+        assert!(matches!(
+            parse(&argv("serve --listen")),
+            Err(ParseError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn submit_connect_and_tenant_parse() {
+        let cmd =
+            parse(&argv("submit -w wc1 --connect 127.0.0.1:7878 --tenant acme --json")).unwrap();
+        let Command::Submit(opts) = cmd else { panic!() };
+        assert_eq!(opts.connect.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(opts.tenant.as_deref(), Some("acme"));
+        assert!(opts.json);
+
+        // Defaults: in-process, anonymous tenant.
+        let Command::Submit(opts) = parse(&argv("submit -w wc1")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.connect, None);
+        assert_eq!(opts.tenant, None);
+
+        assert!(matches!(
+            parse(&argv("submit --connect")),
+            Err(ParseError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse(&argv("submit --tenant")),
+            Err(ParseError::MissingValue(_))
+        ));
     }
 }

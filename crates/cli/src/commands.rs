@@ -8,7 +8,9 @@ use astra_faas::{SimConfig, SimReport};
 use astra_mapreduce::simulate as run_sim;
 use astra_model::{JobSpec, Platform};
 use astra_pricing::PriceCatalog;
+use astra_service::net::{NetClient, NetConfig, NetServer, PROTO_VERSION};
 use astra_service::{wire, JobRequest, ServiceConfig, ServiceDaemon, SimOptions};
+use serde_json::Value;
 use astra_workloads::WorkloadSpec;
 
 use crate::args::{JobOpts, ServeOpts, SubmitOpts};
@@ -248,10 +250,50 @@ pub fn frontier(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
     Ok(())
 }
 
-/// `astra serve` — spin up the in-process service daemon, drive a
-/// deterministic demo mix of jobs through it, and print the per-job
-/// terminal snapshots plus the session-cache scorecard.
+/// `astra serve --listen` — bind the TCP line-protocol listener and
+/// serve until stdin reaches EOF (Ctrl-D, or the parent closing the
+/// pipe), then shut down gracefully: first the listener, then the
+/// daemon, which drains every queued job to a terminal state.
+fn serve_listen(opts: &ServeOpts, addr: &str, out: &mut dyn Write) -> std::io::Result<()> {
+    let daemon = ServiceDaemon::start(ServiceConfig::default().with_workers(opts.workers));
+    let server = NetServer::start(
+        daemon.handle(),
+        addr,
+        NetConfig::default(),
+        astra_telemetry::global(),
+    )?;
+    writeln!(
+        out,
+        "astra service listening on {} (proto {PROTO_VERSION}, {} workers)",
+        server.local_addr(),
+        opts.workers
+    )?;
+    writeln!(
+        out,
+        "newline-delimited JSON protocol — see PROTOCOL.md; close stdin (Ctrl-D) to stop"
+    )?;
+    out.flush()?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::stdin().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    server.shutdown();
+    let drained = daemon.shutdown();
+    writeln!(out, "server stopped; daemon drained {} jobs", drained.len())
+}
+
+/// `astra serve` — with `--listen`, run the TCP front end; otherwise
+/// spin up the in-process service daemon, drive a deterministic demo
+/// mix of jobs through it, and print the per-job terminal snapshots
+/// plus the session-cache scorecard.
 pub fn serve(opts: ServeOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    if let Some(addr) = opts.listen.clone() {
+        return serve_listen(&opts, &addr, out);
+    }
     let daemon = ServiceDaemon::start(ServiceConfig::default().with_workers(opts.workers));
     let handle = daemon.handle();
     let families = [
@@ -327,16 +369,99 @@ pub fn serve(opts: ServeOpts, out: &mut dyn Write) -> std::io::Result<()> {
     writeln!(out, "daemon drained cleanly: {} jobs total", drained.len())
 }
 
-/// `astra submit` — one job through a fresh daemon, blocking until its
-/// terminal snapshot.
+/// Print the human-readable summary of a wire snapshot (the `job`
+/// object of a TCP response line).
+fn wire_snapshot_table(job: &Value, out: &mut dyn Write) -> std::io::Result<()> {
+    let field = |name: &str| job.as_object().and_then(|o| o.get(name)).cloned();
+    let text = |name: &str| {
+        field(name)
+            .and_then(|v| v.as_str().map(String::from))
+            .unwrap_or_else(|| "-".into())
+    };
+    writeln!(
+        out,
+        "Job      : {} (id {})",
+        text("name"),
+        field("id").and_then(|v| v.as_u64()).unwrap_or(0)
+    )?;
+    writeln!(out, "Status   : {}", text("status"))?;
+    if let Some(reason) = field("reason").and_then(|v| v.as_str().map(String::from)) {
+        writeln!(out, "Reason   : {reason}")?;
+    }
+    if let Some(plan) = field("plan").filter(|p| p.as_object().is_some()) {
+        let get = |name: &str| plan.as_object().and_then(|o| o.get(name)).cloned();
+        if let Some(summary) = get("summary").and_then(|v| v.as_str().map(String::from)) {
+            writeln!(out, "Plan     : {summary}")?;
+        }
+        if let Some(jct) = get("predicted_jct_s").and_then(|v| v.as_f64()) {
+            writeln!(out, "Predicted: JCT {jct:.1}s")?;
+        }
+    }
+    if let Some(sim) = field("sim").filter(|s| s.as_object().is_some()) {
+        let reps = sim
+            .as_object()
+            .and_then(|o| o.get("jct_s"))
+            .and_then(|v| v.as_array().map(|a| a.len()))
+            .unwrap_or(0);
+        if let Some(mean) = sim
+            .as_object()
+            .and_then(|o| o.get("mean_jct_s"))
+            .and_then(|v| v.as_f64())
+        {
+            writeln!(out, "Simulated: mean JCT {mean:.1}s over {reps} reps")?;
+        }
+    }
+    Ok(())
+}
+
+/// `astra submit --connect` — the same job over the TCP line protocol:
+/// submit, then block on `await` for the terminal snapshot.
+fn submit_over_tcp(
+    opts: &SubmitOpts,
+    addr: &str,
+    request: &JobRequest,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    let mut client = NetClient::connect(addr)?;
+    let id = client.submit_id(request)?;
+    let response = client.await_done(id)?;
+    let job = response
+        .as_object()
+        .and_then(|o| o.get("job"))
+        .cloned()
+        .ok_or_else(|| {
+            std::io::Error::other(format!(
+                "malformed await response: {}",
+                serde_json::to_string(&response).unwrap_or_default()
+            ))
+        })?;
+    if opts.json {
+        let body = serde_json::to_string_pretty(&job)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        return writeln!(out, "{body}");
+    }
+    wire_snapshot_table(&job, out)
+}
+
+/// `astra submit` — one job through a fresh daemon (or, with
+/// `--connect`, a running TCP server), blocking until its terminal
+/// snapshot.
 pub fn submit(opts: SubmitOpts, out: &mut dyn Write) -> std::io::Result<()> {
     let workload = opts.job.workload;
-    let request = JobRequest::new(workload.label(), workload.into_job(), objective_for(&opts.job))
-        .with_sim(SimOptions {
-            noise_cv: opts.job.noise_cv,
-            seed: opts.job.seed,
-            replications: opts.reps,
-        });
+    let mut request =
+        JobRequest::new(workload.label(), workload.into_job(), objective_for(&opts.job)).with_sim(
+            SimOptions {
+                noise_cv: opts.job.noise_cv,
+                seed: opts.job.seed,
+                replications: opts.reps,
+            },
+        );
+    if let Some(tenant) = &opts.tenant {
+        request = request.with_tenant(tenant.clone());
+    }
+    if let Some(addr) = &opts.connect {
+        return submit_over_tcp(&opts, addr, &request, out);
+    }
     let daemon = ServiceDaemon::start(ServiceConfig::default().with_workers(opts.workers));
     let handle = daemon.handle();
     let id = handle.submit(request);
@@ -397,10 +522,11 @@ COMMANDS:
     baselines -w <workload>         compare Astra against Baselines 1-3
     timeline  -w <workload> [...]   ASCII Gantt chart of a simulated run
     frontier  -w <workload>         the cost-performance Pareto frontier
-    serve     [--jobs N] [...]      drive a demo job mix through the
-                                    in-process service daemon
-    submit    -w <workload> [...]   submit one job to the daemon and
-                                    await its terminal snapshot
+    serve     [--listen H:P] [...]  serve the TCP line protocol (or, with
+                                    no --listen, run a demo mix in-process)
+    submit    -w <workload> [...]   submit one job — to a TCP server with
+                                    --connect, else a fresh in-process
+                                    daemon — and await its snapshot
     help                            this message
 
 FLAGS:
@@ -417,6 +543,12 @@ FLAGS:
                             table after the command
 
 SERVICE FLAGS (serve/submit):
+    -l, --listen <h:p>      serve: bind the TCP listener here (PROTOCOL.md)
+                            and run until stdin closes
+    -c, --connect <h:p>     submit: speak the line protocol to a running
+                            server instead of starting a daemon
+        --tenant <name>     submit: tenant lane for the request (fair-share
+                            scheduling is per tenant; default \"\")
         --jobs <n>          serve: how many demo jobs to submit (default 12)
         --workers <n>       daemon worker-pool size (default 2)
         --reps <n>          simulation replications per job (0 = plan only)
@@ -568,6 +700,8 @@ mod tests {
             workers: 1,
             reps: 2,
             json: false,
+            connect: None,
+            tenant: None,
         };
         let text = capture(crate::Command::Submit(opts.clone()));
         assert!(text.contains("Status   : DONE"), "{text}");
@@ -578,6 +712,47 @@ mod tests {
         let json = capture(crate::Command::Submit(crate::args::SubmitOpts { json: true, ..opts }));
         assert!(json.contains("\"status\": \"DONE\""), "{json}");
         assert!(json.contains("\"predicted_cost_nanos\""), "{json}");
+    }
+
+    #[test]
+    fn submit_over_tcp_round_trips() {
+        // A server on an ephemeral port, then `astra submit --connect`
+        // against it — the whole CLI TCP path minus the argv parsing.
+        let daemon = ServiceDaemon::start(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_telemetry(astra_telemetry::Telemetry::disabled()),
+        );
+        let server = NetServer::start(
+            daemon.handle(),
+            "127.0.0.1:0",
+            NetConfig::default(),
+            astra_telemetry::Telemetry::disabled(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        let submit_opts = crate::args::SubmitOpts {
+            job: opts(WorkloadSpec::wordcount_gb(1)),
+            workers: 1,
+            reps: 1,
+            json: true,
+            connect: Some(addr),
+            tenant: Some("cli-test".into()),
+        };
+        let text = capture(crate::Command::Submit(submit_opts.clone()));
+        assert!(text.contains("\"status\": \"DONE\""), "{text}");
+        assert!(text.contains("\"tenant\": \"cli-test\""), "{text}");
+
+        let human = capture(crate::Command::Submit(crate::args::SubmitOpts {
+            json: false,
+            ..submit_opts
+        }));
+        assert!(human.contains("Status   : DONE"), "{human}");
+        assert!(human.contains("Simulated: mean JCT"), "{human}");
+
+        server.shutdown();
+        daemon.shutdown();
     }
 
     #[test]

@@ -265,7 +265,7 @@ thread_local! {
 /// events carry indices, not payloads, so the hot pop/handle/schedule
 /// cycle moves no owned data and performs no per-event allocation beyond
 /// the queue's amortized growth. The slab, queue, ledgers and interned
-/// names come from a per-thread [`SimArena`] so consecutive runs on one
+/// names come from a per-thread `SimArena` so consecutive runs on one
 /// thread (a sweep worker's case loop) reuse their allocations.
 pub struct FaasSim {
     config: SimConfig,

@@ -40,6 +40,7 @@ use astra_telemetry::{wall_clock_ns, Telemetry};
 
 use crate::admission::Envelope;
 use crate::cache::{SessionCache, SessionCacheStats, SessionKey};
+use crate::fairness::{FairnessConfig, TenantStats};
 use crate::scheduler::Scheduler;
 use crate::types::{
     FrontierPoint, JobId, JobRequest, JobSnapshot, JobStatus, PlanOutcome, SimOutcome,
@@ -61,6 +62,9 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Shared concurrency/budget envelope (see [`crate::admission`]).
     pub envelope: Envelope,
+    /// Multi-tenant fairness: DRR quantum and per-tenant envelopes
+    /// (see [`crate::fairness`]).
+    pub fairness: FairnessConfig,
     /// Platform every job is planned and simulated against.
     pub platform: Platform,
     /// Price catalog in effect.
@@ -82,6 +86,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             cache_capacity: 32,
             envelope: Envelope::unbounded(),
+            fairness: FairnessConfig::default(),
             platform: Platform::aws_lambda(),
             catalog: PriceCatalog::aws_2020(),
             strategy: Strategy::default(),
@@ -101,6 +106,12 @@ impl ServiceConfig {
     /// Override the admission envelope.
     pub fn with_envelope(mut self, envelope: Envelope) -> Self {
         self.envelope = envelope;
+        self
+    }
+
+    /// Override the fairness configuration.
+    pub fn with_fairness(mut self, fairness: FairnessConfig) -> Self {
+        self.fairness = fairness;
         self
     }
 
@@ -304,7 +315,7 @@ fn worker_loop(inner: Arc<Inner>) {
             }
         }
         // Unconditionally: a held claim must never outlive its job.
-        inner.scheduler.complete(queued.claim);
+        inner.scheduler.complete(&queued);
     }
 }
 
@@ -336,7 +347,12 @@ impl ServiceDaemon {
             astra,
             platform: config.platform,
             catalog: config.catalog,
-            scheduler: Scheduler::new(config.queue_capacity, config.envelope),
+            scheduler: Scheduler::new(
+                config.queue_capacity,
+                config.envelope,
+                config.fairness,
+                config.telemetry.clone(),
+            ),
             cache: SessionCache::new(config.cache_capacity, config.telemetry.clone()),
             telemetry: config.telemetry,
             table: Mutex::new(JobTable {
@@ -438,9 +454,30 @@ impl ServiceHandle {
                 return id;
             }
         };
-        if let Err(reason) = self.inner.scheduler.submit(id, plan.predicted_cost()) {
+        if let Err(reason) =
+            self.inner
+                .scheduler
+                .submit(id, &request.tenant, plan.predicted_cost())
+        {
             self.inner.reject(id, reason);
         }
+        id
+    }
+
+    /// Register a `Rejected` job carrying `reason`, without ever
+    /// touching the queue — the service's answer to a request that
+    /// could not even be parsed (framing errors, malformed JSON). The
+    /// snapshot's request field holds a placeholder; the id is real and
+    /// pollable like any other.
+    pub fn reject_submission(&self, reason: String) -> JobId {
+        self.inner.telemetry.counter("service.submitted", 1);
+        let placeholder = JobRequest::new(
+            "<unparsed>",
+            JobSpec::uniform("<unparsed>", 1, 1.0, WorkloadProfile::uniform_test()),
+            astra_core::Objective::cheapest(),
+        );
+        let id = self.inner.register(placeholder);
+        self.inner.reject(id, reason);
         id
     }
 
@@ -450,17 +487,7 @@ impl ServiceHandle {
     pub fn submit_json(&self, body: &str) -> JobId {
         match wire::job_request_from_str(body) {
             Ok(request) => self.submit(request),
-            Err(e) => {
-                self.inner.telemetry.counter("service.submitted", 1);
-                let placeholder = JobRequest::new(
-                    "<unparsed>",
-                    JobSpec::uniform("<unparsed>", 1, 1.0, WorkloadProfile::uniform_test()),
-                    astra_core::Objective::cheapest(),
-                );
-                let id = self.inner.register(placeholder);
-                self.inner.reject(id, e.to_string());
-                id
-            }
+            Err(e) => self.reject_submission(e.to_string()),
         }
     }
 
@@ -533,6 +560,12 @@ impl ServiceHandle {
     /// The admission envelope in force.
     pub fn envelope(&self) -> Envelope {
         self.inner.scheduler.envelope()
+    }
+
+    /// Occupancy of one tenant's lane (`None` if the tenant has never
+    /// had a job queued).
+    pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
+        self.inner.scheduler.tenant_stats(tenant)
     }
 }
 

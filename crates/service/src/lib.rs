@@ -30,11 +30,16 @@
 //! * [`cache`] — a bounded LRU of [`PlannerSession`]s keyed by
 //!   `(job, space, platform, prices)`, shared by admission planning and
 //!   the worker pool (`service.cache.*` telemetry counts reuse);
+//! * [`fairness`] — per-tenant submission lanes with deficit-round-robin
+//!   dispatch and per-tenant envelopes, so one tenant flooding the
+//!   queue defers only itself;
 //! * [`scheduler`] — the bounded submission queue plus the
-//!   envelope-gated FIFO dispatch the workers pull from;
+//!   envelope-gated DRR dispatch the workers pull from;
 //! * [`daemon`] — the worker pool itself, the job table, and the
 //!   synchronous client handle (`submit` / `status` / `await_done` /
-//!   `frontier`).
+//!   `frontier`);
+//! * [`net`] — the std-TCP line-protocol server and client speaking the
+//!   newline-delimited JSON protocol specified in `PROTOCOL.md`.
 //!
 //! ## Determinism contract
 //!
@@ -55,6 +60,8 @@
 pub mod admission;
 pub mod cache;
 pub mod daemon;
+pub mod fairness;
+pub mod net;
 pub mod scheduler;
 pub mod types;
 pub mod wire;
@@ -62,6 +69,8 @@ pub mod wire;
 pub use admission::{Admission, AdmissionController, Envelope};
 pub use cache::{SessionCache, SessionCacheStats, SessionKey};
 pub use daemon::{ServiceConfig, ServiceDaemon, ServiceHandle};
+pub use fairness::{FairnessConfig, TenantEnvelope, TenantStats};
+pub use net::{NetClient, NetConfig, NetServer};
 pub use types::{
     FrontierPoint, JobId, JobMetrics, JobRequest, JobSnapshot, JobStatus, PlanOutcome, SimOptions,
     SimOutcome,

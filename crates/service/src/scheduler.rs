@@ -1,45 +1,44 @@
-//! The bounded submission queue and the envelope-gated FIFO dispatch
-//! that the worker pool pulls from.
+//! The bounded submission queue and the envelope-gated dispatch that
+//! the worker pool pulls from.
 //!
-//! One mutex guards the whole scheduler state (queue + admission
-//! occupancy); one condvar wakes workers when either changes. The
-//! discipline is strict FIFO with *head gating*: workers only ever
-//! dispatch the queue head, and a head whose claim the envelope defers
-//! blocks every job behind it until capacity frees up. That costs some
-//! utilization versus letting small jobs overtake, but it buys the two
-//! properties the service promises:
+//! One mutex guards the whole scheduler state (tenant lanes + global
+//! admission occupancy); one condvar wakes workers when either changes.
+//! Since PR 8 the dispatch discipline is **deficit round-robin over
+//! per-tenant lanes** ([`crate::fairness`]) instead of one global FIFO:
+//! jobs queue in their tenant's lane, lanes are served round-robin with
+//! planned-cost credit, and each lane additionally respects its
+//! tenant's own concurrency/budget envelope. The properties the service
+//! promises are preserved:
 //!
-//! * **no starvation** — the head cannot be overtaken, and every
-//!   admitted job eventually releases its claim, so every admissible
-//!   job is eventually dispatched;
-//! * **determinism** — dispatch *order* is the submission order,
-//!   regardless of worker count or timing (which worker runs a job is
-//!   racy; that a job runs, and with what inputs, is not).
+//! * **no starvation** — every lane is visited each round and accrues
+//!   credit until its head fits, and the DRR-chosen head keeps PR 5's
+//!   head gate against the *global* envelope (nothing overtakes it
+//!   while it waits for capacity), so every admissible job is
+//!   eventually dispatched;
+//! * **determinism of results** — per-job results depend only on the
+//!   request and the daemon's planner configuration. Dispatch *order*
+//!   is now a fairness decision rather than submission order, but order
+//!   (like worker count and timing) only ever affects latency.
 //!
-//! Submission failures (queue full, envelope-infeasible claim,
-//! shutting down) are returned to the submitter as reasons; the daemon
-//! maps them onto the `Rejected` terminal state.
+//! Submission failures (queue full, globally or per-tenant infeasible
+//! claim, shutting down) are returned to the submitter as reasons; the
+//! daemon maps them onto the `Rejected` terminal state. All of them are
+//! independent of what is currently running — reject stays
+//! state-independent, deferral stays latency-only.
 
-use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
 use astra_pricing::Money;
+use astra_telemetry::Telemetry;
 
-use crate::admission::{Admission, AdmissionController, Envelope};
+use crate::admission::{AdmissionController, Envelope};
+use crate::fairness::{Dispatch, DrrLanes, FairnessConfig, TenantStats};
 use crate::types::JobId;
 
-/// A queue entry: the job id plus the admission claim its planned cost
-/// debits from the envelope while it runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct QueuedJob {
-    /// The job to run.
-    pub id: JobId,
-    /// Planned-cost claim held until [`Scheduler::complete`].
-    pub claim: Money,
-}
+pub use crate::fairness::QueuedJob;
 
 struct SchedState {
-    queue: VecDeque<QueuedJob>,
+    lanes: DrrLanes,
     admission: AdmissionController,
     closed: bool,
 }
@@ -52,11 +51,17 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// A scheduler with a bounded queue and a fresh envelope.
-    pub fn new(queue_capacity: usize, envelope: Envelope) -> Self {
+    /// A scheduler with a bounded queue, a fresh global envelope, and
+    /// DRR tenant lanes under `fairness`.
+    pub fn new(
+        queue_capacity: usize,
+        envelope: Envelope,
+        fairness: FairnessConfig,
+        telemetry: Telemetry,
+    ) -> Self {
         Scheduler {
             state: Mutex::new(SchedState {
-                queue: VecDeque::new(),
+                lanes: DrrLanes::new(fairness, telemetry),
                 admission: AdmissionController::new(envelope),
                 closed: false,
             }),
@@ -65,149 +70,197 @@ impl Scheduler {
         }
     }
 
-    /// Enqueue a job. `Err` carries the rejection reason: the queue is
-    /// full, the claim can never fit the envelope, or the scheduler is
-    /// shutting down. All three checks are independent of what is
-    /// currently running, so the verdict is deterministic in submission
-    /// order.
-    pub fn submit(&self, id: JobId, claim: Money) -> Result<(), String> {
+    /// Enqueue a job in its tenant's lane. `Err` carries the rejection
+    /// reason: the queue is full, the claim can never fit the global
+    /// envelope or the tenant's budget share, or the scheduler is
+    /// shutting down. All checks are independent of what is currently
+    /// running, so the verdict is deterministic in submission order.
+    pub fn submit(&self, id: JobId, tenant: &str, claim: Money) -> Result<(), String> {
         let mut state = self.state.lock().unwrap();
         if state.closed {
             return Err("service is shutting down".to_string());
         }
         state.admission.feasible(claim)?;
-        if state.queue.len() >= self.capacity {
+        state.lanes.feasible(tenant, claim)?;
+        if state.lanes.queued() >= self.capacity {
             return Err(format!(
                 "submission queue is full ({} pending)",
                 self.capacity
             ));
         }
-        state.queue.push_back(QueuedJob { id, claim });
+        state.lanes.enqueue(QueuedJob {
+            id,
+            claim,
+            tenant: tenant.into(),
+        });
         self.wakeup.notify_all();
         Ok(())
     }
 
-    /// Block until the queue head is admitted, then dispatch it (its
-    /// claim debited). Returns `None` once the scheduler is closed and
-    /// the queue has drained — the worker's signal to exit.
+    /// Block until DRR selects an admissible job, then dispatch it (its
+    /// global and tenant claims debited). Returns `None` once the
+    /// scheduler is closed and every lane has drained — the worker's
+    /// signal to exit.
     pub fn next(&self) -> Option<QueuedJob> {
         let mut state = self.state.lock().unwrap();
         loop {
-            if let Some(&head) = state.queue.front() {
-                match state.admission.admit(head.claim) {
-                    Admission::Admit => {
-                        state.queue.pop_front();
-                        return Some(head);
-                    }
-                    // Head gating: wait for a release, never look past
-                    // the head. Reject is unreachable — feasibility was
-                    // checked at submit and is occupancy-independent.
-                    Admission::Defer => {}
-                    Admission::Reject(reason) => {
-                        unreachable!("infeasible claim reached the queue: {reason}")
+            let SchedState {
+                lanes, admission, ..
+            } = &mut *state;
+            match lanes.try_dispatch(admission) {
+                Dispatch::Job(job) => return Some(job),
+                Dispatch::Blocked => {
+                    if state.closed && state.lanes.queued() == 0 {
+                        return None;
                     }
                 }
-            } else if state.closed {
-                return None;
             }
             state = self.wakeup.wait(state).unwrap();
         }
     }
 
-    /// Release a dispatched job's claim and wake deferred workers.
-    pub fn complete(&self, claim: Money) {
+    /// Release a dispatched job's global and tenant claims and wake
+    /// deferred workers.
+    pub fn complete(&self, job: &QueuedJob) {
         let mut state = self.state.lock().unwrap();
-        state.admission.release(claim);
+        state.admission.release(job.claim);
+        state.lanes.release(&job.tenant, job.claim);
         self.wakeup.notify_all();
     }
 
     /// Refuse new submissions; queued jobs still drain. Workers exit
-    /// from [`Scheduler::next`] once the queue is empty.
+    /// from [`Scheduler::next`] once the lanes are empty.
     pub fn close(&self) {
         let mut state = self.state.lock().unwrap();
         state.closed = true;
         self.wakeup.notify_all();
     }
 
-    /// Jobs waiting in the queue right now.
+    /// Jobs waiting across all lanes right now.
     pub fn queue_len(&self) -> usize {
-        self.state.lock().unwrap().queue.len()
+        self.state.lock().unwrap().lanes.queued()
     }
 
-    /// Jobs currently holding admission.
+    /// Jobs currently holding global admission.
     pub fn in_flight(&self) -> usize {
         self.state.lock().unwrap().admission.in_flight()
     }
 
-    /// The envelope being enforced.
+    /// The global envelope being enforced.
     pub fn envelope(&self) -> Envelope {
         self.state.lock().unwrap().admission.envelope()
+    }
+
+    /// Occupancy of one tenant's lane (`None` if the tenant has never
+    /// submitted).
+    pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
+        self.state.lock().unwrap().lanes.tenant_stats(tenant)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fairness::TenantEnvelope;
     use std::sync::Arc;
 
     fn dollars(d: f64) -> Money {
         Money::from_dollars_f64(d)
     }
 
+    fn sched(capacity: usize, envelope: Envelope) -> Scheduler {
+        Scheduler::new(
+            capacity,
+            envelope,
+            FairnessConfig::default(),
+            Telemetry::disabled(),
+        )
+    }
+
     #[test]
-    fn fifo_order_is_preserved() {
-        let sched = Scheduler::new(8, Envelope::unbounded());
+    fn single_tenant_dispatch_is_fifo() {
+        let sched = sched(8, Envelope::unbounded());
         for id in 0..5 {
-            sched.submit(id, dollars(0.1)).unwrap();
+            sched.submit(id, "t", dollars(0.1)).unwrap();
         }
         sched.close();
         let mut order = Vec::new();
         while let Some(job) = sched.next() {
             order.push(job.id);
-            sched.complete(job.claim);
+            sched.complete(&job);
         }
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn full_queue_rejects_with_reason() {
-        let sched = Scheduler::new(2, Envelope::unbounded());
-        sched.submit(0, Money::ZERO).unwrap();
-        sched.submit(1, Money::ZERO).unwrap();
-        let reason = sched.submit(2, Money::ZERO).unwrap_err();
+        let sched = sched(2, Envelope::unbounded());
+        sched.submit(0, "a", Money::ZERO).unwrap();
+        sched.submit(1, "b", Money::ZERO).unwrap();
+        let reason = sched.submit(2, "c", Money::ZERO).unwrap_err();
         assert!(reason.contains("queue is full"), "{reason}");
     }
 
     #[test]
     fn infeasible_claim_rejected_at_submit() {
-        let sched = Scheduler::new(8, Envelope {
-            max_in_flight: 4,
-            budget: dollars(1.0),
-        });
-        let reason = sched.submit(0, dollars(2.0)).unwrap_err();
+        let sched = sched(
+            8,
+            Envelope {
+                max_in_flight: 4,
+                budget: dollars(1.0),
+            },
+        );
+        let reason = sched.submit(0, "t", dollars(2.0)).unwrap_err();
         assert!(reason.contains("exceeds"), "{reason}");
         assert_eq!(sched.queue_len(), 0);
     }
 
     #[test]
+    fn tenant_infeasible_claim_rejected_at_submit() {
+        let sched = Scheduler::new(
+            8,
+            Envelope::unbounded(),
+            FairnessConfig::default().with_tenant_envelope(
+                "metered",
+                TenantEnvelope {
+                    max_in_flight: 4,
+                    budget: dollars(1.0),
+                },
+            ),
+            Telemetry::disabled(),
+        );
+        let reason = sched.submit(0, "metered", dollars(2.0)).unwrap_err();
+        assert!(reason.contains("budget share"), "{reason}");
+        // Another tenant with the same claim is fine.
+        sched.submit(1, "other", dollars(2.0)).unwrap();
+    }
+
+    #[test]
     fn closed_scheduler_rejects_submissions_but_drains() {
-        let sched = Scheduler::new(8, Envelope::unbounded());
-        sched.submit(0, Money::ZERO).unwrap();
+        let sched = sched(8, Envelope::unbounded());
+        sched.submit(0, "t", Money::ZERO).unwrap();
         sched.close();
-        assert!(sched.submit(1, Money::ZERO).unwrap_err().contains("shutting down"));
-        assert_eq!(sched.next().unwrap().id, 0);
-        sched.complete(Money::ZERO);
+        assert!(sched
+            .submit(1, "t", Money::ZERO)
+            .unwrap_err()
+            .contains("shutting down"));
+        let job = sched.next().unwrap();
+        assert_eq!(job.id, 0);
+        sched.complete(&job);
         assert!(sched.next().is_none());
     }
 
     #[test]
-    fn deferred_head_blocks_until_release() {
-        let sched = Arc::new(Scheduler::new(8, Envelope {
-            max_in_flight: 1,
-            budget: dollars(10.0),
-        }));
-        sched.submit(0, dollars(1.0)).unwrap();
-        sched.submit(1, dollars(1.0)).unwrap();
+    fn deferred_candidate_blocks_until_release() {
+        let sched = Arc::new(sched(
+            8,
+            Envelope {
+                max_in_flight: 1,
+                budget: dollars(10.0),
+            },
+        ));
+        sched.submit(0, "t", dollars(1.0)).unwrap();
+        sched.submit(1, "t", dollars(1.0)).unwrap();
 
         let first = sched.next().unwrap();
         assert_eq!(first.id, 0);
@@ -219,9 +272,41 @@ mod tests {
             std::thread::spawn(move || sched.next().map(|j| j.id))
         };
         std::thread::sleep(std::time::Duration::from_millis(20));
-        assert!(!worker.is_finished(), "head must be deferred while the slot is held");
+        assert!(
+            !worker.is_finished(),
+            "candidate must be deferred while the slot is held"
+        );
 
-        sched.complete(first.claim);
+        sched.complete(&first);
         assert_eq!(worker.join().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn two_tenants_interleave() {
+        // Quantum = one claim, so DRR serves one job per lane per round.
+        let sched = Scheduler::new(
+            16,
+            Envelope::unbounded(),
+            FairnessConfig::default().with_quantum(dollars(0.001)),
+            Telemetry::disabled(),
+        );
+        for id in 0..4 {
+            sched.submit(id, "flood", dollars(0.001)).unwrap();
+        }
+        for id in 10..12 {
+            sched.submit(id, "quiet", dollars(0.001)).unwrap();
+        }
+        sched.close();
+        let mut order = Vec::new();
+        while let Some(job) = sched.next() {
+            order.push(job.id);
+            sched.complete(&job);
+        }
+        let quiet_done = order.iter().position(|&id| id == 11).unwrap();
+        assert!(
+            quiet_done <= 3,
+            "quiet tenant waited behind the flood: {order:?}"
+        );
+        assert_eq!(sched.tenant_stats("flood").unwrap().queued, 0);
     }
 }

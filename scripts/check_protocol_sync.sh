@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Keep PROTOCOL.md's error-code table and the service source in lockstep.
+#
+# Direction 1: every code listed in PROTOCOL.md's "## Error codes" table
+#   must exist as a `pub const` in crates/service/src/net.rs.
+# Direction 2: every code constant defined in the `codes` module of
+#   crates/service/src/net.rs must have a row in that table.
+#
+# Run from the repo root: ./scripts/check_protocol_sync.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SPEC=PROTOCOL.md
+SRC=crates/service/src/net.rs
+
+[ -f "$SPEC" ] || { echo "missing $SPEC" >&2; exit 1; }
+[ -f "$SRC" ] || { echo "missing $SRC" >&2; exit 1; }
+
+# Codes documented in the spec: first backticked SHOUTY_SNAKE token of each
+# table row between "## Error codes" and the next "## " heading.
+spec_codes=$(awk '/^## Error codes/{f=1; next} /^## /{f=0} f' "$SPEC" \
+    | grep -oE '^\| `[A-Z][A-Z0-9_]+`' | tr -d '|` ' | sort -u)
+
+# Codes the server can actually emit: the `pub const NAME: &str = "NAME"`
+# declarations inside the codes module.
+src_codes=$(awk '/^pub mod codes/{f=1; next} f && /^}/{f=0} f' "$SRC" \
+    | grep -oE 'pub const [A-Z][A-Z0-9_]+: &str' \
+    | awk '{print $3}' | tr -d ':' | sort -u)
+
+[ -n "$spec_codes" ] || { echo "no codes parsed from $SPEC" >&2; exit 1; }
+[ -n "$src_codes" ] || { echo "no codes parsed from $SRC" >&2; exit 1; }
+
+status=0
+undocumented=$(comm -13 <(echo "$spec_codes") <(echo "$src_codes"))
+if [ -n "$undocumented" ]; then
+    echo "error codes in $SRC missing from $SPEC's table:" >&2
+    echo "$undocumented" >&2
+    status=1
+fi
+phantom=$(comm -23 <(echo "$spec_codes") <(echo "$src_codes"))
+if [ -n "$phantom" ]; then
+    echo "error codes documented in $SPEC but absent from $SRC:" >&2
+    echo "$phantom" >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    n=$(echo "$spec_codes" | wc -l)
+    echo "PROTOCOL.md and $SRC agree on $n error codes."
+fi
+exit "$status"

@@ -87,10 +87,18 @@ proptest! {
         budget in 0.5f64..3.0,
     ) {
         let envelope = Envelope { max_in_flight: slots, budget: dollars(budget) };
-        let sched = Arc::new(Scheduler::new(claims.len(), envelope));
+        let sched = Arc::new(Scheduler::new(
+            claims.len(),
+            envelope,
+            astra::service::FairnessConfig::default(),
+            astra::telemetry::Telemetry::disabled(),
+        ));
         let mut expected: Vec<u64> = Vec::new();
         for (id, &claim) in claims.iter().enumerate() {
-            match sched.submit(id as u64, dollars(claim)) {
+            // Spread the mix over two tenants so the DRR lanes are
+            // exercised, not just the single-lane degenerate case.
+            let tenant = if id % 2 == 0 { "even" } else { "odd" };
+            match sched.submit(id as u64, tenant, dollars(claim)) {
                 Ok(()) => expected.push(id as u64),
                 Err(reason) => prop_assert!(
                     dollars(claim) > envelope.budget,
@@ -108,7 +116,7 @@ proptest! {
                 std::thread::spawn(move || {
                     while let Some(job) = sched.next() {
                         dispatched.lock().unwrap().push(job.id);
-                        sched.complete(job.claim);
+                        sched.complete(&job);
                     }
                 })
             })
