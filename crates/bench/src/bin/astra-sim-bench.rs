@@ -23,7 +23,12 @@
 //! * `service_net_roundtrip/N{n}` — the same jobs submitted serially
 //!   over loopback TCP through the PROTOCOL.md line protocol, each
 //!   blocking on `await`, so the wire framing + JSON codec + socket
-//!   overhead per submit→Done roundtrip is gated too.
+//!   overhead per submit→Done roundtrip is gated too;
+//! * `service_recovery/N{n}` — 200 plan-only jobs journaled to a
+//!   durable log (setup, untimed), then a fresh daemon started on that
+//!   journal per sample, so the crash-recovery replay path — frame
+//!   decode, checksum verify, verbatim snapshot restore — is gated,
+//!   with jobs-replayed/sec recorded alongside the timing.
 //!
 //! ```text
 //! astra-sim-bench [--out FILE]          write results (default BENCH_sim.json)
@@ -51,6 +56,8 @@ use serde_json::{json, Value};
 
 /// Replications per sweep bench: enough to keep every core busy.
 const SWEEP_RUNS: u64 = 16;
+/// Jobs journaled and replayed by the `service_recovery` bench.
+const RECOVERY_JOBS: u64 = 200;
 /// Noise CV for the benched runs (the harness's default).
 const NOISE_CV: f64 = 0.10;
 
@@ -263,6 +270,75 @@ fn run_suite(args: &BenchArgs) -> Value {
         drop(client);
         server.shutdown();
         net_daemon.shutdown();
+
+        // Journal-replay restart latency: a daemon journals
+        // RECOVERY_JOBS plan-only jobs to a scratch log (setup,
+        // untimed), then each timed sample starts a fresh daemon on
+        // that journal — decoding, checksum-verifying and restoring
+        // every terminal snapshot verbatim — and tears it down. This
+        // gates the crash-recovery path: how long a restarted service
+        // takes before it answers for every pre-crash job.
+        let journal = std::env::temp_dir().join(format!(
+            "astra-sim-bench-recovery-N{n}-{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&journal);
+        {
+            let daemon = ServiceDaemon::start(
+                ServiceConfig::default()
+                    .with_workers(2)
+                    .with_journal_path(&journal)
+                    .with_telemetry(astra_telemetry::Telemetry::disabled()),
+            );
+            let handle = daemon.handle();
+            let ids: Vec<_> = (0..RECOVERY_JOBS)
+                .map(|i| {
+                    let request = JobRequest::new(
+                        format!("recovery-{i}"),
+                        job.clone(),
+                        Objective::fastest(),
+                    )
+                    .with_sim(SimOptions {
+                        noise_cv: 0.0,
+                        seed: i,
+                        replications: 0,
+                    });
+                    handle.submit(request)
+                })
+                .collect();
+            for id in ids {
+                assert_eq!(
+                    handle.await_done(id).expect("bench job vanished").status,
+                    astra_service::JobStatus::Done
+                );
+            }
+            daemon.shutdown();
+        }
+        let (rec_mean, rec_min) = time_ms(args.samples, || {
+            let daemon = ServiceDaemon::start(
+                ServiceConfig::default()
+                    .with_workers(2)
+                    .with_journal_path(&journal)
+                    .with_telemetry(astra_telemetry::Telemetry::disabled()),
+            );
+            let recovered = daemon.handle().jobs().len();
+            assert_eq!(recovered as u64, RECOVERY_JOBS, "journal replay lost jobs");
+            recovered
+        });
+        let _ = std::fs::remove_file(&journal);
+        let replays_per_sec = RECOVERY_JOBS as f64 / (rec_min / 1e3);
+        eprintln!(
+            "bench service_recovery/N{n}: mean {rec_mean:.2} ms, min {rec_min:.2} ms \
+             ({RECOVERY_JOBS} jobs, {replays_per_sec:.0} jobs/s replayed)"
+        );
+        results.push(json!({
+            "name": format!("service_recovery/N{n}"),
+            "n": n,
+            "jobs": RECOVERY_JOBS,
+            "mean_ms": rec_mean,
+            "min_ms": rec_min,
+            "replays_per_sec": replays_per_sec,
+        }));
     }
 
     json!({

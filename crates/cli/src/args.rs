@@ -49,6 +49,10 @@ pub struct ServeOpts {
     /// Bind the TCP line-protocol listener here (`--listen HOST:PORT`)
     /// and serve until stdin closes, instead of running the demo mix.
     pub listen: Option<String>,
+    /// Durable job-journal path (`--journal PATH`): replay it at
+    /// startup (recovering jobs from a previous run) and log every
+    /// lifecycle transition to it.
+    pub journal: Option<String>,
 }
 
 impl Default for ServeOpts {
@@ -63,6 +67,7 @@ impl Default for ServeOpts {
             trace_out: None,
             metrics: false,
             listen: None,
+            journal: None,
         }
     }
 }
@@ -334,6 +339,10 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, ParseError> {
                 opts.listen = Some(value()?.clone());
                 i += 2;
             }
+            "--journal" => {
+                opts.journal = Some(value()?.clone());
+                i += 2;
+            }
             other => return Err(ParseError::BadFlag(other.to_string())),
         }
     }
@@ -589,6 +598,23 @@ mod tests {
 
         assert!(matches!(
             parse(&argv("serve --listen")),
+            Err(ParseError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn serve_journal_parses() {
+        let cmd = parse(&argv("serve --listen 127.0.0.1:0 --journal /tmp/astra.journal")).unwrap();
+        let Command::Serve(opts) = cmd else { panic!() };
+        assert_eq!(opts.journal.as_deref(), Some("/tmp/astra.journal"));
+
+        let Command::Serve(opts) = parse(&argv("serve")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.journal, None);
+
+        assert!(matches!(
+            parse(&argv("serve --journal")),
             Err(ParseError::MissingValue(_))
         ));
     }

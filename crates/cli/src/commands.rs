@@ -255,7 +255,11 @@ pub fn frontier(opts: JobOpts, out: &mut dyn Write) -> std::io::Result<()> {
 /// pipe), then shut down gracefully: first the listener, then the
 /// daemon, which drains every queued job to a terminal state.
 fn serve_listen(opts: &ServeOpts, addr: &str, out: &mut dyn Write) -> std::io::Result<()> {
-    let daemon = ServiceDaemon::start(ServiceConfig::default().with_workers(opts.workers));
+    let mut config = ServiceConfig::default().with_workers(opts.workers);
+    if let Some(path) = &opts.journal {
+        config = config.with_journal_path(path);
+    }
+    let daemon = ServiceDaemon::start(config);
     let server = NetServer::start(
         daemon.handle(),
         addr,
@@ -294,7 +298,11 @@ pub fn serve(opts: ServeOpts, out: &mut dyn Write) -> std::io::Result<()> {
     if let Some(addr) = opts.listen.clone() {
         return serve_listen(&opts, &addr, out);
     }
-    let daemon = ServiceDaemon::start(ServiceConfig::default().with_workers(opts.workers));
+    let mut config = ServiceConfig::default().with_workers(opts.workers);
+    if let Some(path) = &opts.journal {
+        config = config.with_journal_path(path);
+    }
+    let daemon = ServiceDaemon::start(config);
     let handle = daemon.handle();
     let families = [
         WorkloadSpec::wordcount_gb(1),
@@ -551,6 +559,8 @@ SERVICE FLAGS (serve/submit):
                             scheduling is per tenant; default \"\")
         --jobs <n>          serve: how many demo jobs to submit (default 12)
         --workers <n>       daemon worker-pool size (default 2)
+        --journal <path>    serve: replay this durable job journal on start
+                            and log every lifecycle transition to it
         --reps <n>          simulation replications per job (0 = plan only)
         --json              submit: print the terminal snapshot as wire JSON
 

@@ -23,12 +23,30 @@
 //! any thread count; combined with the scheduler's FIFO dispatch this
 //! yields the service determinism contract (crate docs).
 //!
-//! A worker panic is caught per job and recorded as `Failed` — the
-//! claim is always released, so one poisoned job cannot wedge the
-//! envelope.
+//! A worker panic is caught per job and recorded as `Failed` with the
+//! captured panic payload as its reason (plus a
+//! `service.worker.panics` count) — the claim is always released, so
+//! one poisoned job cannot wedge the envelope.
+//!
+//! ## Crash safety
+//!
+//! With [`ServiceConfig::with_journal_path`] every lifecycle transition
+//! is appended to a durable [`crate::journal::Journal`] before the
+//! daemon acknowledges it. A daemon restarted on the same path replays
+//! the log: jobs that reached a terminal state are restored verbatim
+//! (their ids keep answering `status`/`await`), and jobs caught
+//! mid-flight are re-admitted under their original ids — safe because
+//! results are deterministic, so the re-run is bit-identical to what
+//! the dead daemon would have produced. `tests/service_chaos.rs`
+//! proves the invariant under injected crashes
+//! ([`crate::faults::FaultPlan`], threaded here via
+//! [`ServiceConfig::with_faults`]): same terminal set, bit-identical
+//! results, no leaked claims.
 
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -41,11 +59,29 @@ use astra_telemetry::{wall_clock_ns, Telemetry};
 use crate::admission::Envelope;
 use crate::cache::{SessionCache, SessionCacheStats, SessionKey};
 use crate::fairness::{FairnessConfig, TenantStats};
-use crate::scheduler::Scheduler;
+use crate::faults::{FaultAction, FaultPlan, FaultSite};
+use crate::journal::Journal;
+use crate::scheduler::{OverloadConfig, Scheduler, SubmitError};
 use crate::types::{
     FrontierPoint, JobId, JobRequest, JobSnapshot, JobStatus, PlanOutcome, SimOutcome,
 };
 use crate::wire;
+
+/// The panic payload a [`FaultAction::Crash`] throws: the worker loop
+/// recognizes it and dies *without* failing the job or releasing its
+/// claim, modeling a process that vanished mid-job. Everything a real
+/// crash would leak, this leaks — recovery is the journal's problem.
+struct CrashSignal;
+
+/// Human-readable panic payload (panics carry `String` or `&str`;
+/// anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
 
 /// Everything a daemon is configured with. The planner quadruple
 /// (platform, catalog, strategy, prune) is fixed per daemon — it is
@@ -77,6 +113,13 @@ pub struct ServiceConfig {
     /// one, so a binary that installed a recorder gets `service.*`
     /// spans and counters with no extra plumbing.
     pub telemetry: Telemetry,
+    /// Durable journal path; `None` (the default) runs without crash
+    /// safety. See the module docs' crash-safety section.
+    pub journal_path: Option<PathBuf>,
+    /// Fault-injection plan; defaults to disabled (production).
+    pub faults: FaultPlan,
+    /// Overload-shedding thresholds; defaults to disabled.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServiceConfig {
@@ -92,6 +135,9 @@ impl Default for ServiceConfig {
             strategy: Strategy::default(),
             prune: PruneConfig::default(),
             telemetry: astra_telemetry::global(),
+            journal_path: None,
+            faults: FaultPlan::disabled(),
+            overload: OverloadConfig::disabled(),
         }
     }
 }
@@ -120,6 +166,25 @@ impl ServiceConfig {
         self.telemetry = telemetry;
         self
     }
+
+    /// Persist every lifecycle transition to a journal at `path` and
+    /// replay it on startup (see module docs).
+    pub fn with_journal_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Inject deterministic faults (chaos testing only).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the overload-shedding thresholds.
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
+        self
+    }
 }
 
 struct JobTable {
@@ -136,33 +201,48 @@ struct Inner {
     telemetry: Telemetry,
     table: Mutex<JobTable>,
     job_changed: Condvar,
+    journal: Option<Journal>,
+    faults: FaultPlan,
+    /// Set when an injected [`FaultAction::Crash`] fires — the daemon
+    /// is then simulating a dead process and only a journal-replaying
+    /// restart makes progress.
+    crashed: AtomicBool,
 }
 
 impl Inner {
+    /// Insert a fresh `Accepted` record under `id` (journaled).
+    fn insert_accepted(&self, table: &mut JobTable, id: JobId, request: JobRequest) {
+        let snap = JobSnapshot {
+            id,
+            request,
+            status: JobStatus::Accepted,
+            history: vec![(JobStatus::Accepted, wall_clock_ns())],
+            reason: None,
+            plan: None,
+            sim: None,
+            metrics: Default::default(),
+            session_cache_hit: false,
+            retry_after_ms: None,
+        };
+        if let Some(journal) = &self.journal {
+            journal.record_submitted(id, &snap.request, snap.history[0].1);
+        }
+        table.jobs.insert(id, snap);
+    }
+
     /// Insert a fresh `Accepted` record and return its id.
     fn register(&self, request: JobRequest) -> JobId {
         let mut table = self.table.lock().unwrap();
         table.next_id += 1;
         let id = table.next_id;
-        table.jobs.insert(
-            id,
-            JobSnapshot {
-                id,
-                request,
-                status: JobStatus::Accepted,
-                history: vec![(JobStatus::Accepted, wall_clock_ns())],
-                reason: None,
-                plan: None,
-                sim: None,
-                metrics: Default::default(),
-                session_cache_hit: false,
-            },
-        );
+        self.insert_accepted(&mut table, id, request);
         id
     }
 
     /// Take a lifecycle edge, asserting it is legal, stamping the
     /// history, and waking `await_done` waiters on terminal states.
+    /// Journaled before the lock drops, so the log's transition order
+    /// matches the table's.
     fn transition(&self, id: JobId, to: JobStatus, mutate: impl FnOnce(&mut JobSnapshot)) {
         let mut table = self.table.lock().unwrap();
         let snap = table.jobs.get_mut(&id).expect("transition on unknown job");
@@ -177,7 +257,40 @@ impl Inner {
         mutate(snap);
         if to.is_terminal() {
             snap.metrics.total_ns = now.saturating_sub(snap.history[0].1);
+        }
+        if let Some(journal) = &self.journal {
+            journal.record_transition(snap);
+        }
+        if to.is_terminal() {
             self.job_changed.notify_all();
+        }
+    }
+
+    /// Evaluate the fault plan at a worker lifecycle site. `Ok` means
+    /// no fault; `Err` is a synthetic failure reason; `Panic`/`Crash`
+    /// actions do not return.
+    fn inject(&self, site: FaultSite, id: JobId) -> Result<(), String> {
+        match self.faults.decide(site, id) {
+            None => Ok(()),
+            Some(action) => {
+                self.telemetry.counter("service.faults.injected", 1);
+                match action {
+                    FaultAction::Error => Err(format!("injected fault: {site} error (job {id})")),
+                    FaultAction::Panic => {
+                        panic!("injected fault: {site} panic (job {id})")
+                    }
+                    FaultAction::Crash => {
+                        self.telemetry.counter("service.faults.crashes", 1);
+                        self.crashed.store(true, Ordering::SeqCst);
+                        // Freeze the queue and held claims in place —
+                        // nothing of this "process" survives but the
+                        // journal.
+                        self.scheduler.halt();
+                        self.job_changed.notify_all();
+                        std::panic::panic_any(CrashSignal)
+                    }
+                }
+            }
         }
     }
 
@@ -216,17 +329,31 @@ impl Inner {
     }
 
     /// Plan `job` under this daemon's configuration through the shared
-    /// session cache. Returns the plan and whether the cache hit.
+    /// session cache. Returns the plan and whether the cache hit. The
+    /// [`FaultSite::CacheBuild`] check is keyed by job id, so it fires
+    /// identically at admission and at the worker re-plan (a job either
+    /// never queues or never trips here).
     fn plan_cached(
         &self,
+        id: JobId,
         job: &JobSpec,
         objective: astra_core::Objective,
-    ) -> (Result<astra_core::Plan, astra_core::PlanError>, bool) {
+    ) -> (Result<astra_core::Plan, String>, bool) {
+        if self.faults.fires(FaultSite::CacheBuild, id) {
+            self.telemetry.counter("service.faults.injected", 1);
+            return (
+                Err(format!(
+                    "injected fault: {} failure (job {id})",
+                    FaultSite::CacheBuild
+                )),
+                false,
+            );
+        }
         let (space, key) = self.session_key(job);
         let (session, hit) = self
             .cache
             .get_or_build(key, || self.astra.session_with_space(job, &space));
-        (session.plan(objective), hit)
+        (session.plan(objective).map_err(|e| e.to_string()), hit)
     }
 
     /// The whole per-job worker path; `Err` is a failure reason.
@@ -239,7 +366,8 @@ impl Inner {
         let _span = self.telemetry.wall_span("service", "service.job", "service");
         let picked_up = wall_clock_ns();
 
-        let (planned, hit) = self.plan_cached(&request.job, request.objective);
+        self.inject(FaultSite::WorkerPlan, id)?;
+        let (planned, hit) = self.plan_cached(id, &request.job, request.objective);
         // Admission already planned this exact request successfully;
         // planning is deterministic, so failure here is a real bug.
         let plan = planned.map_err(|e| format!("re-plan after admission failed: {e}"))?;
@@ -259,11 +387,13 @@ impl Inner {
         });
 
         if request.sim.replications == 0 {
+            self.inject(FaultSite::WorkerFinish, id)?;
             self.telemetry.counter("service.completed", 1);
             self.transition(id, JobStatus::Done, |_| {});
             return Ok(());
         }
 
+        self.inject(FaultSite::WorkerSim, id)?;
         self.transition(id, JobStatus::Simulating, |_| {});
         let sim_started = wall_clock_ns();
         let compiled = astra_mapreduce::compile(&request.job, &plan);
@@ -283,12 +413,79 @@ impl Inner {
             sim.events.push(report.events);
         }
         let sim_ns = wall_clock_ns().saturating_sub(sim_started);
+        self.inject(FaultSite::WorkerFinish, id)?;
         self.telemetry.counter("service.completed", 1);
         self.transition(id, JobStatus::Done, |snap| {
             snap.sim = Some(sim);
             snap.metrics.sim_ns = sim_ns;
         });
         Ok(())
+    }
+
+    /// The admission path a registered `Accepted` job takes to the
+    /// queue: validate, admission-plan through the session cache, then
+    /// enqueue under the scheduler's envelope/overload policy. Every
+    /// refusal lands the job in `Rejected` with a reason; shed refusals
+    /// also stamp `retry_after_ms`. Shared by live submission
+    /// ([`ServiceHandle::submit`]) and startup recovery, so a replayed
+    /// job is re-admitted by exactly the rules a fresh one faces.
+    fn admit(&self, id: JobId, request: &JobRequest) {
+        if let Err(reason) = request.validate() {
+            self.reject(id, reason);
+            return;
+        }
+        // The model layer asserts on inputs validate() vouched for; a
+        // panic past this point is a validation gap, answered as a
+        // rejection rather than a dead submitter thread.
+        let admission = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.plan_cached(id, &request.job, request.objective)
+        }));
+        let (planned, hit) = match admission {
+            Ok(result) => result,
+            Err(payload) => {
+                self.telemetry.counter("service.worker.panics", 1);
+                self.reject(
+                    id,
+                    format!(
+                        "request failed admission planning: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                );
+                return;
+            }
+        };
+        {
+            let mut table = self.table.lock().unwrap();
+            if let Some(snap) = table.jobs.get_mut(&id) {
+                snap.session_cache_hit |= hit;
+            }
+        }
+        let plan = match planned {
+            Ok(plan) => plan,
+            Err(reason) => {
+                self.reject(id, reason);
+                return;
+            }
+        };
+        match self.scheduler.submit(
+            id,
+            &request.tenant,
+            plan.predicted_cost(),
+            request.carries_deadline(),
+        ) {
+            Ok(()) => {}
+            Err(SubmitError::Refused(reason)) => self.reject(id, reason),
+            Err(SubmitError::Overloaded {
+                reason,
+                retry_after_ms,
+            }) => {
+                self.telemetry.counter("service.rejected", 1);
+                self.transition(id, JobStatus::Rejected, |snap| {
+                    snap.reason = Some(reason);
+                    snap.retry_after_ms = Some(retry_after_ms);
+                });
+            }
+        }
     }
 
     fn jobs_sorted(&self) -> Vec<JobSnapshot> {
@@ -306,15 +503,22 @@ fn worker_loop(inner: Arc<Inner>) {
             Ok(Ok(())) => {}
             Ok(Err(reason)) => inner.fail(queued.id, reason),
             Err(payload) => {
-                let reason = payload
-                    .downcast_ref::<String>()
-                    .cloned()
-                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                    .unwrap_or_else(|| "worker panicked".to_string());
-                inner.fail(queued.id, format!("worker panicked: {reason}"));
+                if payload.is::<CrashSignal>() {
+                    // Simulated process death: the job stays
+                    // non-terminal and the claim stays held, exactly
+                    // as a kill -9 would leave them. The journal is
+                    // the only way back.
+                    return;
+                }
+                inner.telemetry.counter("service.worker.panics", 1);
+                inner.fail(
+                    queued.id,
+                    format!("worker panicked: {}", panic_message(payload.as_ref())),
+                );
             }
         }
-        // Unconditionally: a held claim must never outlive its job.
+        // Unconditionally (short of a crash): a held claim must never
+        // outlive its job.
         inner.scheduler.complete(&queued);
     }
 }
@@ -333,9 +537,27 @@ impl ServiceDaemon {
     ///
     /// # Panics
     /// If `config.workers` is 0 — a poolless daemon would accept jobs
-    /// and never run them.
+    /// and never run them — or if the configured journal cannot be
+    /// opened ([`ServiceDaemon::try_start`] surfaces that as an error
+    /// instead).
     pub fn start(config: ServiceConfig) -> ServiceDaemon {
+        ServiceDaemon::try_start(config).expect("open service journal")
+    }
+
+    /// [`ServiceDaemon::start`], with journal I/O errors surfaced.
+    /// When the config names a journal path, the existing log is
+    /// replayed before any worker starts: terminal jobs are restored
+    /// verbatim, mid-flight jobs are re-admitted under their original
+    /// ids, and fresh submissions continue the recovered id sequence.
+    pub fn try_start(config: ServiceConfig) -> std::io::Result<ServiceDaemon> {
         assert!(config.workers > 0, "a daemon needs at least one worker");
+        let (journal, recovery) = match &config.journal_path {
+            None => (None, None),
+            Some(path) => {
+                let (journal, recovery) = Journal::open(path, config.telemetry.clone())?;
+                (Some(journal), Some(recovery))
+            }
+        };
         let astra = Astra::new(
             config.platform.clone(),
             config.catalog,
@@ -351,6 +573,7 @@ impl ServiceDaemon {
                 config.queue_capacity,
                 config.envelope,
                 config.fairness,
+                config.overload,
                 config.telemetry.clone(),
             ),
             cache: SessionCache::new(config.cache_capacity, config.telemetry.clone()),
@@ -360,7 +583,31 @@ impl ServiceDaemon {
                 jobs: HashMap::new(),
             }),
             job_changed: Condvar::new(),
+            journal,
+            faults: config.faults,
+            crashed: AtomicBool::new(false),
         });
+        if let Some(recovery) = recovery {
+            // Before any worker runs: restore terminal snapshots
+            // verbatim, then re-admit mid-flight jobs under their
+            // original ids through the normal admission path.
+            {
+                let mut table = inner.table.lock().unwrap();
+                table.next_id = recovery.max_id().unwrap_or(0);
+                for job in &recovery.jobs {
+                    if let Some(snapshot) = &job.terminal {
+                        table.jobs.insert(job.id, snapshot.clone());
+                    }
+                }
+            }
+            for job in recovery.in_flight() {
+                {
+                    let mut table = inner.table.lock().unwrap();
+                    inner.insert_accepted(&mut table, job.id, job.request.clone());
+                }
+                inner.admit(job.id, &job.request);
+            }
+        }
         let workers = (0..config.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -370,13 +617,33 @@ impl ServiceDaemon {
                     .expect("spawn service worker")
             })
             .collect();
-        ServiceDaemon { inner, workers }
+        Ok(ServiceDaemon { inner, workers })
     }
 
     /// A clonable client handle onto this daemon.
     pub fn handle(&self) -> ServiceHandle {
         ServiceHandle {
             inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// True once an injected [`FaultAction::Crash`] fired — the daemon
+    /// is simulating a dead process (queue frozen, claims held); only
+    /// [`ServiceDaemon::abandon`] and a journal-replaying restart make
+    /// progress.
+    pub fn crashed(&self) -> bool {
+        self.inner.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Tear down *without* draining: halt the scheduler where it
+    /// stands (queued jobs stay queued, held claims stay held) and
+    /// join the workers. This is how a chaos test disposes of a
+    /// "crashed" daemon before restarting from its journal — the live
+    /// path is [`ServiceDaemon::shutdown`].
+    pub fn abandon(mut self) {
+        self.inner.scheduler.halt();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
         }
     }
 
@@ -423,44 +690,7 @@ impl ServiceHandle {
             .wall_span("service", "service.submit", "service");
         self.inner.telemetry.counter("service.submitted", 1);
         let id = self.inner.register(request.clone());
-        if let Err(reason) = request.validate() {
-            self.inner.reject(id, reason);
-            return id;
-        }
-        // The model layer asserts on inputs validate() vouched for; a
-        // panic past this point is a validation gap, answered as a
-        // rejection rather than a dead submitter thread.
-        let admission = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            self.inner.plan_cached(&request.job, request.objective)
-        }));
-        let (planned, hit) = match admission {
-            Ok(result) => result,
-            Err(_) => {
-                self.inner
-                    .reject(id, "request failed admission planning".to_string());
-                return id;
-            }
-        };
-        {
-            let mut table = self.inner.table.lock().unwrap();
-            if let Some(snap) = table.jobs.get_mut(&id) {
-                snap.session_cache_hit |= hit;
-            }
-        }
-        let plan = match planned {
-            Ok(plan) => plan,
-            Err(e) => {
-                self.inner.reject(id, e.to_string());
-                return id;
-            }
-        };
-        if let Err(reason) =
-            self.inner
-                .scheduler
-                .submit(id, &request.tenant, plan.predicted_cost())
-        {
-            self.inner.reject(id, reason);
-        }
+        self.inner.admit(id, &request);
         id
     }
 

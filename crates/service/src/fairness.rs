@@ -162,6 +162,9 @@ pub struct QueuedJob {
     pub claim: Money,
     /// The tenant lane this job queued in ("" = anonymous).
     pub tenant: Arc<str>,
+    /// Wall-clock enqueue stamp (the scheduler's head-of-line age
+    /// signal for overload shedding).
+    pub enqueued_ns: u64,
 }
 
 /// Point-in-time occupancy of one tenant's lane.
@@ -248,6 +251,17 @@ impl DrrLanes {
     /// submitted).
     pub fn lane_count(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// The earliest enqueue stamp among all lane heads — the oldest
+    /// head-of-line job's age drives overload shedding. `None` when
+    /// nothing is queued. Only heads matter: within a lane order is
+    /// FIFO, so the head is the oldest job in it.
+    pub fn oldest_enqueued_ns(&self) -> Option<u64> {
+        self.lanes
+            .iter()
+            .filter_map(|lane| lane.queue.front().map(|job| job.enqueued_ns))
+            .min()
     }
 
     /// Occupancy of `tenant`'s lane, if that tenant has ever submitted.
@@ -457,6 +471,7 @@ mod tests {
             id,
             claim: dollars(claim),
             tenant: Arc::from(tenant),
+            enqueued_ns: id,
         }
     }
 

@@ -38,8 +38,15 @@
 //! * [`daemon`] — the worker pool itself, the job table, and the
 //!   synchronous client handle (`submit` / `status` / `await_done` /
 //!   `frontier`);
+//! * [`journal`] — the durable, checksummed append-only job log a
+//!   daemon replays on restart, recovering terminal results verbatim
+//!   and re-admitting mid-flight jobs;
+//! * [`faults`] — seeded, deterministic fault injection (worker
+//!   panics and crashes, cache-build failures, connection resets and
+//!   short writes) for the chaos suite;
 //! * [`net`] — the std-TCP line-protocol server and client speaking the
-//!   newline-delimited JSON protocol specified in `PROTOCOL.md`.
+//!   newline-delimited JSON protocol specified in `PROTOCOL.md`, with
+//!   idle timeouts, overload answers, and backoff reconnects.
 //!
 //! ## Determinism contract
 //!
@@ -61,6 +68,8 @@ pub mod admission;
 pub mod cache;
 pub mod daemon;
 pub mod fairness;
+pub mod faults;
+pub mod journal;
 pub mod net;
 pub mod scheduler;
 pub mod types;
@@ -70,7 +79,10 @@ pub use admission::{Admission, AdmissionController, Envelope};
 pub use cache::{SessionCache, SessionCacheStats, SessionKey};
 pub use daemon::{ServiceConfig, ServiceDaemon, ServiceHandle};
 pub use fairness::{FairnessConfig, TenantEnvelope, TenantStats};
-pub use net::{NetClient, NetConfig, NetServer};
+pub use faults::{FaultAction, FaultPlan, FaultRule, FaultSite};
+pub use journal::{Journal, JournalRecovery, RecoveredJob};
+pub use net::{BackoffPolicy, NetClient, NetConfig, NetServer};
+pub use scheduler::{OverloadConfig, SubmitError};
 pub use types::{
     FrontierPoint, JobId, JobMetrics, JobRequest, JobSnapshot, JobStatus, PlanOutcome, SimOptions,
     SimOutcome,

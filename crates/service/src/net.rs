@@ -18,9 +18,12 @@
 //! [`ServiceHandle::submit_json`] does for unparseable bodies) and the
 //! response line carries both the machine-readable error code and that
 //! job's snapshot. The connection stays open and re-synchronized at the
-//! next newline. The only line that closes a connection is the
+//! next newline. Only two lines close a connection: the
 //! [`codes::CONNECTION_LIMIT`] refusal, sent when the reader-thread
-//! budget is exhausted at accept time.
+//! budget is exhausted at accept time, and the [`codes::IDLE_TIMEOUT`]
+//! notice, sent when a connection goes [`NetConfig::idle_timeout_ms`]
+//! without completing a request line — the defense that stops a silent
+//! or slow-loris peer from pinning a connection slot forever.
 //!
 //! ## Shutdown
 //!
@@ -47,8 +50,11 @@ use std::thread::JoinHandle;
 use astra_telemetry::Telemetry;
 use serde_json::{json, Map, Value};
 
+use astra_faas::derive_seed;
+
 use crate::daemon::ServiceHandle;
-use crate::types::{JobId, JobRequest};
+use crate::faults::{FaultPlan, FaultSite};
+use crate::types::{JobId, JobRequest, JobStatus};
 use crate::wire;
 
 /// The protocol identifier the server announces in its hello line and
@@ -84,8 +90,19 @@ pub mod codes {
     /// A `status` / `await` for a job id this daemon never issued.
     pub const UNKNOWN_JOB: &str = "UNKNOWN_JOB";
     /// The server's reader-thread budget is exhausted; this refusal is
-    /// the only line sent before the server closes the connection.
+    /// sent as the connection's only line before the server closes it.
     pub const CONNECTION_LIMIT: &str = "CONNECTION_LIMIT";
+    /// No complete request line arrived within
+    /// [`super::NetConfig::idle_timeout_ms`]; the server sends this
+    /// notice and closes the connection (the other closing code besides
+    /// [`CONNECTION_LIMIT`]).
+    pub const IDLE_TIMEOUT: &str = "IDLE_TIMEOUT";
+    /// A `submit` shed by overload degradation: the service is over its
+    /// queue-pressure thresholds and this non-priority submission was
+    /// rejected retryably. The error object carries `retry_after_ms`;
+    /// the registered `Rejected` job rides on the response like any
+    /// other refusal.
+    pub const OVERLOADED: &str = "OVERLOADED";
 }
 
 /// Transport limits for one [`NetServer`].
@@ -97,6 +114,11 @@ pub struct NetConfig {
     /// Reader-thread budget: connections accepted beyond it receive a
     /// one-line [`codes::CONNECTION_LIMIT`] refusal and are closed.
     pub max_connections: usize,
+    /// Close a connection (with a [`codes::IDLE_TIMEOUT`] line) when no
+    /// complete request line arrives for this long. 0 disables the
+    /// timeout (a silent peer then pins its slot forever — test use
+    /// only).
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for NetConfig {
@@ -106,6 +128,9 @@ impl Default for NetConfig {
             // per-object sizes is ~10 MB; typical requests are < 1 KB).
             max_line_bytes: 16 * 1024 * 1024,
             max_connections: 64,
+            // Five minutes: longer than any legitimate await gap a
+            // batch client leaves, far shorter than forever.
+            idle_timeout_ms: 300_000,
         }
     }
 }
@@ -120,6 +145,12 @@ impl NetConfig {
     /// Override the connection budget.
     pub fn with_max_connections(mut self, connections: usize) -> Self {
         self.max_connections = connections;
+        self
+    }
+
+    /// Override the idle timeout (0 disables it).
+    pub fn with_idle_timeout_ms(mut self, ms: u64) -> Self {
+        self.idle_timeout_ms = ms;
         self
     }
 }
@@ -304,6 +335,30 @@ fn handle_line(handle: &ServiceHandle, telemetry: &Telemetry, line: &[u8]) -> Va
                 Ok(request) => {
                     telemetry.counter("service.net.submits", 1);
                     let id = handle.submit(request);
+                    // An overload shed answers `ok:false OVERLOADED`
+                    // with the retry hint, so a client can back off
+                    // without polling — the rejected job still rides on
+                    // the line like any other refusal.
+                    let shed = handle.status(id).filter(|snap| {
+                        snap.status == JobStatus::Rejected && snap.retry_after_ms.is_some()
+                    });
+                    if let Some(snap) = shed {
+                        let retry_after_ms = snap.retry_after_ms.unwrap_or(0);
+                        let reason = snap.reason.clone().unwrap_or_default();
+                        let mut obj = Map::new();
+                        obj.insert("ok".to_string(), Value::from(false));
+                        obj.insert("op".to_string(), Value::from("submit"));
+                        obj.insert(
+                            "error".to_string(),
+                            json!({
+                                "code": codes::OVERLOADED,
+                                "message": reason,
+                                "retry_after_ms": retry_after_ms,
+                            }),
+                        );
+                        obj.insert("job".to_string(), wire::snapshot_to_json(&snap));
+                        return Value::Object(obj);
+                    }
                     let mut obj = ok_response("submit");
                     obj.insert("id".to_string(), Value::from(id));
                     Value::Object(obj)
@@ -383,14 +438,51 @@ fn serve_connection(
     config: NetConfig,
     telemetry: Telemetry,
     active: Arc<AtomicUsize>,
+    faults: FaultPlan,
+    conn_seq: u64,
 ) {
     let run = || -> io::Result<()> {
+        if config.idle_timeout_ms > 0 {
+            // The reader parks in fill_buf between requests; this is
+            // what turns a silent peer into a TimedOut error instead
+            // of a forever-pinned slot.
+            stream.set_read_timeout(Some(std::time::Duration::from_millis(
+                config.idle_timeout_ms,
+            )))?;
+        }
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream.try_clone()?;
         writer.write_all(hello_line().as_bytes())?;
         writer.write_all(b"\n")?;
         loop {
-            let response = match read_line_capped(&mut reader, config.max_line_bytes)? {
+            let read = match read_line_capped(&mut reader, config.max_line_bytes) {
+                Ok(read) => read,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Idle deadline hit (a stalled mid-line write also
+                    // lands here — the slow-loris case). One explicit
+                    // closing line, then the slot is released.
+                    telemetry.counter("service.net.idle_timeouts", 1);
+                    let notice = error_response(
+                        None,
+                        codes::IDLE_TIMEOUT,
+                        &format!(
+                            "no request within {} ms; closing connection",
+                            config.idle_timeout_ms
+                        ),
+                        None,
+                    );
+                    writer.write_all(encode(&notice).as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            let response = match read {
                 ReadLine::Eof => break,
                 ReadLine::Oversize => {
                     telemetry.counter("service.net.lines", 1);
@@ -416,7 +508,21 @@ fn serve_connection(
                     response
                 }
             };
-            writer.write_all(encode(&response).as_bytes())?;
+            if faults.fires(FaultSite::ConnReset, conn_seq) {
+                // Injected reset: the request was processed but the
+                // connection drops before any response byte.
+                telemetry.counter("service.faults.injected", 1);
+                break;
+            }
+            let encoded = encode(&response);
+            if faults.fires(FaultSite::ShortWrite, conn_seq) {
+                // Injected torn frame: half the response, no newline,
+                // then close — the client sees a short read mid-frame.
+                telemetry.counter("service.faults.injected", 1);
+                writer.write_all(&encoded.as_bytes()[..encoded.len() / 2])?;
+                break;
+            }
+            writer.write_all(encoded.as_bytes())?;
             writer.write_all(b"\n")?;
             telemetry.counter("service.net.responses", 1);
         }
@@ -432,6 +538,7 @@ fn serve_connection(
 
 type ConnRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
     handle: ServiceHandle,
@@ -440,7 +547,12 @@ fn accept_loop(
     shutdown: Arc<AtomicBool>,
     conns: ConnRegistry,
     active: Arc<AtomicUsize>,
+    faults: FaultPlan,
 ) {
+    // Monotonic per-server connection sequence — the key transport
+    // fault rules are evaluated against, so a fault plan picks the
+    // same victims on every run.
+    let mut conn_seq: u64 = 0;
     loop {
         let (stream, _peer) = match listener.accept() {
             Ok(accepted) => accepted,
@@ -485,13 +597,18 @@ fn accept_loop(
             active.fetch_sub(1, Ordering::AcqRel);
             continue;
         };
+        let seq = conn_seq;
+        conn_seq += 1;
         let reader = {
             let handle = handle.clone();
             let telemetry = telemetry.clone();
             let active = Arc::clone(&active);
+            let faults = faults.clone();
             std::thread::Builder::new()
                 .name("astra-net-conn".to_string())
-                .spawn(move || serve_connection(stream, handle, config, telemetry, active))
+                .spawn(move || {
+                    serve_connection(stream, handle, config, telemetry, active, faults, seq)
+                })
                 .expect("spawn connection reader")
         };
         conns.lock().unwrap().push((registered, reader));
@@ -516,6 +633,20 @@ impl NetServer {
         config: NetConfig,
         telemetry: Telemetry,
     ) -> io::Result<NetServer> {
+        NetServer::start_with_faults(handle, addr, config, telemetry, FaultPlan::disabled())
+    }
+
+    /// [`NetServer::start`] with transport fault injection (chaos
+    /// testing only): `faults` rules at [`FaultSite::ConnReset`] and
+    /// [`FaultSite::ShortWrite`] are evaluated per connection, keyed by
+    /// the server's accept sequence number.
+    pub fn start_with_faults(
+        handle: ServiceHandle,
+        addr: &str,
+        config: NetConfig,
+        telemetry: Telemetry,
+        faults: FaultPlan,
+    ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -527,7 +658,9 @@ impl NetServer {
             std::thread::Builder::new()
                 .name("astra-net-accept".to_string())
                 .spawn(move || {
-                    accept_loop(listener, handle, config, telemetry, shutdown, conns, active)
+                    accept_loop(
+                        listener, handle, config, telemetry, shutdown, conns, active, faults,
+                    )
                 })
                 .expect("spawn accept thread")
         };
@@ -583,6 +716,54 @@ impl Drop for NetServer {
 
 // ---------------------------------------------------------------- client
 
+/// Capped exponential backoff with deterministic jitter, for client
+/// reconnects. Delays are a pure function of `(policy, attempt)` —
+/// jitter comes from [`derive_seed`], not a clock — so tests can
+/// assert the exact retry schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Total connection attempts (≥ 1) before giving up.
+    pub attempts: u32,
+    /// Delay before the second attempt; doubles each retry.
+    pub base_ms: u64,
+    /// Ceiling on the un-jittered delay.
+    pub cap_ms: u64,
+    /// Jitter seed; the same seed replays the same schedule.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            attempts: 5,
+            base_ms: 50,
+            cap_ms: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay after failed attempt number `attempt` (0-based):
+    /// `min(cap, base·2^attempt)`, then jittered into the upper half of
+    /// that window (`[delay/2, delay]`) so synchronized clients
+    /// desynchronize without ever retrying sooner than half the nominal
+    /// delay.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let nominal = self
+            .base_ms
+            .saturating_mul(1u64.checked_shl(attempt.min(32)).unwrap_or(u64::MAX))
+            .min(self.cap_ms);
+        let half = nominal / 2;
+        let jitter = if half == 0 {
+            0
+        } else {
+            derive_seed(self.seed, attempt as u64) % (half + 1)
+        };
+        half + jitter
+    }
+}
+
 /// A synchronous line-protocol client over one TCP connection. Reads
 /// the server hello at connect time; every request is one written line
 /// answered by exactly one response line.
@@ -611,6 +792,30 @@ impl NetClient {
             writer,
             hello,
         })
+    }
+
+    /// [`NetClient::connect`] with retries under `policy`: each failed
+    /// attempt sleeps [`BackoffPolicy::delay_ms`] before the next. The
+    /// recovery companion to the server's injected connection resets —
+    /// a client that lost its connection mid-conversation reconnects
+    /// with bounded, de-synchronized pressure instead of a tight loop.
+    pub fn connect_with_backoff(addr: &str, policy: BackoffPolicy) -> io::Result<NetClient> {
+        let attempts = policy.attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            match NetClient::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    last_err = Some(e);
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            policy.delay_ms(attempt),
+                        ));
+                    }
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt was made"))
     }
 
     /// The server's hello object (`proto` carries the protocol version).
@@ -729,6 +934,34 @@ mod tests {
         assert_eq!(
             hello_line(),
             r#"{"ok":true,"op":"hello","proto":"astra.jobs/1"}"#
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_bounded() {
+        let policy = BackoffPolicy::default();
+        let schedule: Vec<u64> = (0..8).map(|a| policy.delay_ms(a)).collect();
+        // Pure function: same policy, same schedule.
+        assert_eq!(
+            schedule,
+            (0..8).map(|a| policy.delay_ms(a)).collect::<Vec<u64>>()
+        );
+        for (attempt, &delay) in schedule.iter().enumerate() {
+            let nominal = (policy.base_ms << attempt.min(32)).min(policy.cap_ms);
+            assert!(
+                delay >= nominal / 2 && delay <= nominal,
+                "attempt {attempt}: delay {delay} outside [{}, {nominal}]",
+                nominal / 2
+            );
+        }
+        // Different seeds give different jitter somewhere.
+        let other = BackoffPolicy {
+            seed: 1,
+            ..BackoffPolicy::default()
+        };
+        assert_ne!(
+            schedule,
+            (0..8).map(|a| other.delay_ms(a)).collect::<Vec<u64>>()
         );
     }
 }

@@ -24,12 +24,21 @@
 //! claim, shutting down) are returned to the submitter as reasons; the
 //! daemon maps them onto the `Rejected` terminal state. All of them are
 //! independent of what is currently running — reject stays
-//! state-independent, deferral stays latency-only.
+//! state-independent, deferral stays latency-only — with one deliberate
+//! exception: **overload shedding** ([`OverloadConfig`]). When queue
+//! depth or head-of-line age crosses its thresholds, new *non-priority*
+//! submissions are refused with a retryable
+//! [`SubmitError::Overloaded`] carrying a `retry_after_ms` hint, while
+//! deadline-carrying (QoS) jobs are still accepted. Shedding is
+//! load-dependent by design — it exists precisely so that under
+//! pressure the deadline class keeps meeting QoS instead of every
+//! tenant's work going stale together — and it never touches a job
+//! that was already accepted.
 
 use std::sync::{Condvar, Mutex};
 
 use astra_pricing::Money;
-use astra_telemetry::Telemetry;
+use astra_telemetry::{wall_clock_ns, Telemetry};
 
 use crate::admission::{AdmissionController, Envelope};
 use crate::fairness::{Dispatch, DrrLanes, FairnessConfig, TenantStats};
@@ -37,10 +46,92 @@ use crate::types::JobId;
 
 pub use crate::fairness::QueuedJob;
 
+/// Queue-pressure thresholds for overload shedding. The default is
+/// fully disabled (both thresholds at their `MAX` sentinel), preserving
+/// the pre-overload behavior: deferral only, no shedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Shed non-priority submissions once this many jobs are queued
+    /// across all lanes. `usize::MAX` disables the depth trigger.
+    pub shed_queue_depth: usize,
+    /// Shed non-priority submissions once the oldest head-of-line job
+    /// has waited this long. `u64::MAX` disables the age trigger.
+    pub shed_head_age_ms: u64,
+    /// The `retry_after_ms` hint attached to shed rejections.
+    pub retry_after_ms: u64,
+}
+
+impl OverloadConfig {
+    /// No shedding (the default).
+    pub fn disabled() -> Self {
+        OverloadConfig {
+            shed_queue_depth: usize::MAX,
+            shed_head_age_ms: u64::MAX,
+            retry_after_ms: 250,
+        }
+    }
+
+    /// Shed when the queue holds `depth` or more jobs.
+    pub fn with_shed_queue_depth(mut self, depth: usize) -> Self {
+        self.shed_queue_depth = depth;
+        self
+    }
+
+    /// Shed when the oldest head-of-line job is `ms` or more old.
+    pub fn with_shed_head_age_ms(mut self, ms: u64) -> Self {
+        self.shed_head_age_ms = ms;
+        self
+    }
+
+    /// Override the retry hint on shed rejections.
+    pub fn with_retry_after_ms(mut self, ms: u64) -> Self {
+        self.retry_after_ms = ms;
+        self
+    }
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig::disabled()
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// A permanent refusal: infeasible claim, full queue, shutdown.
+    /// Retrying the identical request gains nothing (full-queue and
+    /// shutdown refusals may clear, but carry no retry contract).
+    Refused(String),
+    /// Overload shedding: the service is degrading gracefully and this
+    /// non-priority submission should be retried after the hint.
+    Overloaded {
+        /// Why the shed triggered (depth or head age).
+        reason: String,
+        /// Suggested client backoff before resubmitting.
+        retry_after_ms: u64,
+    },
+}
+
+impl SubmitError {
+    /// The human-readable reason (what lands in the `Rejected`
+    /// snapshot).
+    pub fn reason(&self) -> &str {
+        match self {
+            SubmitError::Refused(reason) => reason,
+            SubmitError::Overloaded { reason, .. } => reason,
+        }
+    }
+}
+
 struct SchedState {
     lanes: DrrLanes,
     admission: AdmissionController,
     closed: bool,
+    /// A halted scheduler (simulated process crash) refuses submissions
+    /// AND stops dispatching, leaving queued jobs and held claims
+    /// frozen — unlike `closed`, which drains.
+    halted: bool,
 }
 
 /// The submission queue + admission gate (see module docs).
@@ -48,62 +139,124 @@ pub struct Scheduler {
     state: Mutex<SchedState>,
     wakeup: Condvar,
     capacity: usize,
+    overload: OverloadConfig,
+    telemetry: Telemetry,
 }
 
 impl Scheduler {
-    /// A scheduler with a bounded queue, a fresh global envelope, and
-    /// DRR tenant lanes under `fairness`.
+    /// A scheduler with a bounded queue, a fresh global envelope, DRR
+    /// tenant lanes under `fairness`, and `overload` shedding
+    /// thresholds.
     pub fn new(
         queue_capacity: usize,
         envelope: Envelope,
         fairness: FairnessConfig,
+        overload: OverloadConfig,
         telemetry: Telemetry,
     ) -> Self {
         Scheduler {
             state: Mutex::new(SchedState {
-                lanes: DrrLanes::new(fairness, telemetry),
+                lanes: DrrLanes::new(fairness, telemetry.clone()),
                 admission: AdmissionController::new(envelope),
                 closed: false,
+                halted: false,
             }),
             wakeup: Condvar::new(),
             capacity: queue_capacity,
+            overload,
+            telemetry,
         }
     }
 
-    /// Enqueue a job in its tenant's lane. `Err` carries the rejection
-    /// reason: the queue is full, the claim can never fit the global
-    /// envelope or the tenant's budget share, or the scheduler is
-    /// shutting down. All checks are independent of what is currently
-    /// running, so the verdict is deterministic in submission order.
-    pub fn submit(&self, id: JobId, tenant: &str, claim: Money) -> Result<(), String> {
+    /// Enqueue a job in its tenant's lane. `Err` carries the refusal:
+    /// [`SubmitError::Refused`] when the queue is full, the claim can
+    /// never fit the global envelope or the tenant's budget share, or
+    /// the scheduler is shutting down — all independent of what is
+    /// currently running; [`SubmitError::Overloaded`] when queue
+    /// pressure sheds this non-priority submission (`priority`
+    /// submissions — deadline-carrying jobs — are never shed).
+    pub fn submit(
+        &self,
+        id: JobId,
+        tenant: &str,
+        claim: Money,
+        priority: bool,
+    ) -> Result<(), SubmitError> {
         let mut state = self.state.lock().unwrap();
-        if state.closed {
-            return Err("service is shutting down".to_string());
+        if state.closed || state.halted {
+            return Err(SubmitError::Refused(
+                "service is shutting down".to_string(),
+            ));
         }
-        state.admission.feasible(claim)?;
-        state.lanes.feasible(tenant, claim)?;
+        state.admission.feasible(claim).map_err(SubmitError::Refused)?;
+        state
+            .lanes
+            .feasible(tenant, claim)
+            .map_err(SubmitError::Refused)?;
         if state.lanes.queued() >= self.capacity {
-            return Err(format!(
+            return Err(SubmitError::Refused(format!(
                 "submission queue is full ({} pending)",
                 self.capacity
-            ));
+            )));
+        }
+        let now_ns = wall_clock_ns();
+        if !priority {
+            if let Err(reason) = self.shed_check(&state, now_ns) {
+                return Err(SubmitError::Overloaded {
+                    reason,
+                    retry_after_ms: self.overload.retry_after_ms,
+                });
+            }
         }
         state.lanes.enqueue(QueuedJob {
             id,
             claim,
             tenant: tenant.into(),
+            enqueued_ns: now_ns,
         });
         self.wakeup.notify_all();
+        Ok(())
+    }
+
+    /// Overload verdict under the current queue state: `Err(reason)`
+    /// when a shed threshold is crossed.
+    fn shed_check(&self, state: &SchedState, now_ns: u64) -> Result<(), String> {
+        let depth = state.lanes.queued();
+        if depth >= self.overload.shed_queue_depth {
+            self.telemetry.counter("service.shed.total", 1);
+            self.telemetry.counter("service.shed.queue_depth", 1);
+            return Err(format!(
+                "service overloaded: {depth} jobs queued (threshold {})",
+                self.overload.shed_queue_depth
+            ));
+        }
+        if self.overload.shed_head_age_ms < u64::MAX {
+            if let Some(oldest_ns) = state.lanes.oldest_enqueued_ns() {
+                let age_ms = now_ns.saturating_sub(oldest_ns) / 1_000_000;
+                if age_ms >= self.overload.shed_head_age_ms {
+                    self.telemetry.counter("service.shed.total", 1);
+                    self.telemetry.counter("service.shed.head_age", 1);
+                    return Err(format!(
+                        "service overloaded: oldest queued job waited {age_ms} ms \
+                         (threshold {} ms)",
+                        self.overload.shed_head_age_ms
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
     /// Block until DRR selects an admissible job, then dispatch it (its
     /// global and tenant claims debited). Returns `None` once the
     /// scheduler is closed and every lane has drained — the worker's
-    /// signal to exit.
+    /// signal to exit — or immediately after a halt.
     pub fn next(&self) -> Option<QueuedJob> {
         let mut state = self.state.lock().unwrap();
         loop {
+            if state.halted {
+                return None;
+            }
             let SchedState {
                 lanes, admission, ..
             } = &mut *state;
@@ -133,6 +286,18 @@ impl Scheduler {
     pub fn close(&self) {
         let mut state = self.state.lock().unwrap();
         state.closed = true;
+        self.wakeup.notify_all();
+    }
+
+    /// Simulate a process crash: stop dispatching immediately, refuse
+    /// submissions, and freeze queued jobs and held claims in place (no
+    /// release, no drain). Workers return from [`Scheduler::next`] with
+    /// `None` at their next wakeup. Only journal replay in a fresh
+    /// daemon recovers the frozen work — this is the fault-injection
+    /// path [`crate::faults::FaultAction::Crash`] takes.
+    pub fn halt(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.halted = true;
         self.wakeup.notify_all();
     }
 
@@ -173,6 +338,7 @@ mod tests {
             capacity,
             envelope,
             FairnessConfig::default(),
+            OverloadConfig::disabled(),
             Telemetry::disabled(),
         )
     }
@@ -181,7 +347,7 @@ mod tests {
     fn single_tenant_dispatch_is_fifo() {
         let sched = sched(8, Envelope::unbounded());
         for id in 0..5 {
-            sched.submit(id, "t", dollars(0.1)).unwrap();
+            sched.submit(id, "t", dollars(0.1), false).unwrap();
         }
         sched.close();
         let mut order = Vec::new();
@@ -195,10 +361,11 @@ mod tests {
     #[test]
     fn full_queue_rejects_with_reason() {
         let sched = sched(2, Envelope::unbounded());
-        sched.submit(0, "a", Money::ZERO).unwrap();
-        sched.submit(1, "b", Money::ZERO).unwrap();
-        let reason = sched.submit(2, "c", Money::ZERO).unwrap_err();
-        assert!(reason.contains("queue is full"), "{reason}");
+        sched.submit(0, "a", Money::ZERO, false).unwrap();
+        sched.submit(1, "b", Money::ZERO, false).unwrap();
+        let err = sched.submit(2, "c", Money::ZERO, false).unwrap_err();
+        assert!(err.reason().contains("queue is full"), "{err:?}");
+        assert!(matches!(err, SubmitError::Refused(_)));
     }
 
     #[test]
@@ -210,8 +377,8 @@ mod tests {
                 budget: dollars(1.0),
             },
         );
-        let reason = sched.submit(0, "t", dollars(2.0)).unwrap_err();
-        assert!(reason.contains("exceeds"), "{reason}");
+        let err = sched.submit(0, "t", dollars(2.0), false).unwrap_err();
+        assert!(err.reason().contains("exceeds"), "{err:?}");
         assert_eq!(sched.queue_len(), 0);
     }
 
@@ -227,27 +394,101 @@ mod tests {
                     budget: dollars(1.0),
                 },
             ),
+            OverloadConfig::disabled(),
             Telemetry::disabled(),
         );
-        let reason = sched.submit(0, "metered", dollars(2.0)).unwrap_err();
-        assert!(reason.contains("budget share"), "{reason}");
+        let err = sched.submit(0, "metered", dollars(2.0), false).unwrap_err();
+        assert!(err.reason().contains("budget share"), "{err:?}");
         // Another tenant with the same claim is fine.
-        sched.submit(1, "other", dollars(2.0)).unwrap();
+        sched.submit(1, "other", dollars(2.0), false).unwrap();
     }
 
     #[test]
     fn closed_scheduler_rejects_submissions_but_drains() {
         let sched = sched(8, Envelope::unbounded());
-        sched.submit(0, "t", Money::ZERO).unwrap();
+        sched.submit(0, "t", Money::ZERO, false).unwrap();
         sched.close();
         assert!(sched
-            .submit(1, "t", Money::ZERO)
+            .submit(1, "t", Money::ZERO, false)
             .unwrap_err()
+            .reason()
             .contains("shutting down"));
         let job = sched.next().unwrap();
         assert_eq!(job.id, 0);
         sched.complete(&job);
         assert!(sched.next().is_none());
+    }
+
+    #[test]
+    fn halted_scheduler_freezes_queue_and_claims() {
+        let sched = sched(8, Envelope::unbounded());
+        sched.submit(0, "t", dollars(0.5), false).unwrap();
+        sched.submit(1, "t", dollars(0.5), false).unwrap();
+        let running = sched.next().unwrap();
+        assert_eq!(running.id, 0);
+        sched.halt();
+        // No drain: the queued job stays queued, the claim stays held.
+        assert!(sched.next().is_none());
+        assert_eq!(sched.queue_len(), 1);
+        assert_eq!(sched.in_flight(), 1);
+        assert!(sched
+            .submit(2, "t", Money::ZERO, false)
+            .unwrap_err()
+            .reason()
+            .contains("shutting down"));
+    }
+
+    #[test]
+    fn depth_shed_spares_priority_submissions() {
+        let sched = Scheduler::new(
+            64,
+            Envelope::unbounded(),
+            FairnessConfig::default(),
+            OverloadConfig::disabled()
+                .with_shed_queue_depth(2)
+                .with_retry_after_ms(125),
+            Telemetry::disabled(),
+        );
+        sched.submit(0, "t", Money::ZERO, false).unwrap();
+        sched.submit(1, "t", Money::ZERO, false).unwrap();
+        // Depth threshold reached: non-priority submissions shed with
+        // the retry hint…
+        let err = sched.submit(2, "t", Money::ZERO, false).unwrap_err();
+        let SubmitError::Overloaded {
+            reason,
+            retry_after_ms,
+        } = err
+        else {
+            panic!("expected an overload shed, got {err:?}");
+        };
+        assert!(reason.contains("overloaded"), "{reason}");
+        assert_eq!(retry_after_ms, 125);
+        // …while a deadline-class submission is still accepted.
+        sched.submit(3, "t", Money::ZERO, true).unwrap();
+        assert_eq!(sched.queue_len(), 3);
+    }
+
+    #[test]
+    fn head_age_shed_triggers_on_stale_queue() {
+        let sched = Scheduler::new(
+            64,
+            Envelope::unbounded(),
+            FairnessConfig::default(),
+            OverloadConfig::disabled().with_shed_head_age_ms(0),
+            Telemetry::disabled(),
+        );
+        // An empty queue has no head to be stale — first job accepted.
+        sched.submit(0, "t", Money::ZERO, false).unwrap();
+        // Threshold 0 ms: the queued head is instantly "stale".
+        let err = sched.submit(1, "t", Money::ZERO, false).unwrap_err();
+        assert!(
+            matches!(err, SubmitError::Overloaded { .. }),
+            "expected head-age shed, got {err:?}"
+        );
+        // Draining the head clears the pressure signal.
+        let job = sched.next().unwrap();
+        sched.complete(&job);
+        sched.submit(2, "t", Money::ZERO, false).unwrap();
     }
 
     #[test]
@@ -259,8 +500,8 @@ mod tests {
                 budget: dollars(10.0),
             },
         ));
-        sched.submit(0, "t", dollars(1.0)).unwrap();
-        sched.submit(1, "t", dollars(1.0)).unwrap();
+        sched.submit(0, "t", dollars(1.0), false).unwrap();
+        sched.submit(1, "t", dollars(1.0), false).unwrap();
 
         let first = sched.next().unwrap();
         assert_eq!(first.id, 0);
@@ -288,13 +529,14 @@ mod tests {
             16,
             Envelope::unbounded(),
             FairnessConfig::default().with_quantum(dollars(0.001)),
+            OverloadConfig::disabled(),
             Telemetry::disabled(),
         );
         for id in 0..4 {
-            sched.submit(id, "flood", dollars(0.001)).unwrap();
+            sched.submit(id, "flood", dollars(0.001), false).unwrap();
         }
         for id in 10..12 {
-            sched.submit(id, "quiet", dollars(0.001)).unwrap();
+            sched.submit(id, "quiet", dollars(0.001), false).unwrap();
         }
         sched.close();
         let mut order = Vec::new();

@@ -124,6 +124,16 @@ impl JobRequest {
         }
         Ok(())
     }
+
+    /// True when this request carries a finite completion deadline —
+    /// the QoS-bearing class the scheduler's overload shedding protects
+    /// (deadline jobs are never shed; see [`crate::scheduler`]).
+    pub fn carries_deadline(&self) -> bool {
+        matches!(
+            self.objective,
+            Objective::MinimizeCost { deadline_s } if deadline_s.is_finite()
+        )
+    }
 }
 
 /// Lifecycle state of a submitted job.
@@ -302,6 +312,10 @@ pub struct JobSnapshot {
     pub metrics: JobMetrics,
     /// Whether this job's planning was served from the session cache.
     pub session_cache_hit: bool,
+    /// Set only on overload-shed rejections: how long the client should
+    /// wait before retrying (the `OVERLOADED` protocol error carries
+    /// it; see PROTOCOL.md).
+    pub retry_after_ms: Option<u64>,
 }
 
 impl JobSnapshot {
@@ -441,6 +455,7 @@ mod tests {
             sim: None,
             metrics: JobMetrics::default(),
             session_cache_hit: false,
+            retry_after_ms: None,
         };
         assert!(snap.check_history().is_ok());
 

@@ -459,7 +459,7 @@ pub fn snapshot_to_json(snap: &JobSnapshot) -> Value {
             "mean_cost_nanos": s.mean_cost().nanos().to_string(),
         }),
     };
-    json!({
+    let mut value = json!({
         "id": snap.id,
         "name": snap.request.name.clone(),
         "tenant": snap.request.tenant.clone(),
@@ -475,6 +475,347 @@ pub fn snapshot_to_json(snap: &JobSnapshot) -> Value {
             "sim_ns": snap.metrics.sim_ns,
             "total_ns": snap.metrics.total_ns,
         },
+    });
+    // Emitted only on overload-shed rejections, so ordinary snapshots
+    // (including PROTOCOL.md's byte-exact transcript) are unchanged.
+    if let Some(retry_after_ms) = snap.retry_after_ms {
+        if let Value::Object(map) = &mut value {
+            map.insert("retry_after_ms".to_string(), Value::from(retry_after_ms));
+        }
+    }
+    value
+}
+
+// ----------------------------------------------------------------- journal
+//
+// The journal persists *complete* snapshots — unlike the status answer
+// above they carry the full request and the chosen PlanSpec, so a
+// restarted daemon can serve terminal results without re-planning and
+// re-admit the rest. `from(to(x)) == x` bit-for-bit: Money travels as
+// nanodollar strings and f64s rely on Rust's shortest-round-trip float
+// formatting (which the serde_json shim uses).
+
+/// Encode a plan spec (journal records; not part of the status wire
+/// format).
+pub fn plan_spec_to_json(spec: &astra_core::PlanSpec) -> Value {
+    let reduce_spec = match &spec.reduce_spec {
+        astra_core::ReduceSpec::PerReducer(k) => json!({ "per_reducer": *k as u64 }),
+        astra_core::ReduceSpec::ExplicitSteps(steps) => json!({
+            "explicit_steps": Value::Array(steps.iter().map(|&s| Value::from(s as u64)).collect()),
+        }),
+    };
+    json!({
+        "mapper_mem_mb": spec.mapper_mem_mb,
+        "coordinator_mem_mb": spec.coordinator_mem_mb,
+        "reducer_mem_mb": spec.reducer_mem_mb,
+        "objects_per_mapper": spec.objects_per_mapper as u64,
+        "reduce_spec": reduce_spec,
+    })
+}
+
+/// Decode a plan spec (strict).
+pub fn plan_spec_from_json(value: &Value) -> Result<astra_core::PlanSpec, WireError> {
+    const CTX: &str = "plan spec";
+    let object = as_object(value, CTX)?;
+    deny_unknown(
+        object,
+        CTX,
+        &[
+            "mapper_mem_mb",
+            "coordinator_mem_mb",
+            "reducer_mem_mb",
+            "objects_per_mapper",
+            "reduce_spec",
+        ],
+    )?;
+    let mem = |field| -> Result<u32, WireError> {
+        let raw = get_u64(object, CTX, field)?;
+        u32::try_from(raw).map_err(|_| WireError::Invalid {
+            context: CTX,
+            message: format!("'{field}' {raw} out of range"),
+        })
+    };
+    let reduce_value = object.get("reduce_spec").ok_or(WireError::MissingField {
+        context: CTX,
+        field: "reduce_spec",
+    })?;
+    const RCTX: &str = "reduce spec";
+    let reduce_obj = as_object(reduce_value, RCTX)?;
+    deny_unknown(reduce_obj, RCTX, &["per_reducer", "explicit_steps"])?;
+    let reduce_spec = match (reduce_obj.get("per_reducer"), reduce_obj.get("explicit_steps")) {
+        (Some(_), None) => {
+            astra_core::ReduceSpec::PerReducer(get_u64(reduce_obj, RCTX, "per_reducer")? as usize)
+        }
+        (None, Some(steps)) => {
+            let steps = steps
+                .as_array()
+                .ok_or(WireError::Invalid {
+                    context: RCTX,
+                    message: "'explicit_steps' must be an array".to_string(),
+                })?
+                .iter()
+                .map(|v| {
+                    v.as_u64().map(|n| n as usize).ok_or(WireError::Invalid {
+                        context: RCTX,
+                        message: "'explicit_steps' entries must be non-negative integers"
+                            .to_string(),
+                    })
+                })
+                .collect::<Result<Vec<usize>, WireError>>()?;
+            astra_core::ReduceSpec::ExplicitSteps(steps)
+        }
+        _ => {
+            return Err(WireError::Invalid {
+                context: RCTX,
+                message: "give exactly one of 'per_reducer' or 'explicit_steps'".to_string(),
+            })
+        }
+    };
+    Ok(astra_core::PlanSpec {
+        mapper_mem_mb: mem("mapper_mem_mb")?,
+        coordinator_mem_mb: mem("coordinator_mem_mb")?,
+        reducer_mem_mb: mem("reducer_mem_mb")?,
+        objects_per_mapper: get_u64(object, CTX, "objects_per_mapper")? as usize,
+        reduce_spec,
+    })
+}
+
+fn money_from_nanos_str(
+    object: &Map<String, Value>,
+    context: &'static str,
+    field: &'static str,
+) -> Result<Money, WireError> {
+    let text = object
+        .get(field)
+        .ok_or(WireError::MissingField { context, field })?
+        .as_str()
+        .ok_or(WireError::Invalid {
+            context,
+            message: format!("'{field}' must be a decimal string"),
+        })?;
+    Ok(Money::from_nanos(text.parse::<i128>().map_err(|e| {
+        WireError::Invalid {
+            context,
+            message: format!("'{field}': {e}"),
+        }
+    })?))
+}
+
+/// Encode a full job snapshot for the journal (complete request, plan
+/// spec, and `retry_after_ms` included).
+pub fn snapshot_to_journal_json(snap: &JobSnapshot) -> Value {
+    let history: Vec<Value> = snap
+        .history
+        .iter()
+        .map(|&(status, at_ns)| json!({ "status": status.as_str(), "at_ns": at_ns }))
+        .collect();
+    let plan = match &snap.plan {
+        None => Value::Null,
+        Some(p) => json!({
+            "spec": plan_spec_to_json(&p.spec),
+            "predicted_jct_s": p.predicted_jct_s,
+            "predicted_cost_nanos": p.predicted_cost.nanos().to_string(),
+            "summary": p.summary.clone(),
+        }),
+    };
+    let sim = match &snap.sim {
+        None => Value::Null,
+        Some(s) => json!({
+            "jct_s": Value::Array(s.jct_s.iter().map(|&x| Value::from(x)).collect()),
+            "cost_nanos": Value::Array(
+                s.cost.iter().map(|c| Value::from(c.nanos().to_string())).collect()
+            ),
+            "events": Value::Array(s.events.iter().map(|&e| Value::from(e)).collect()),
+        }),
+    };
+    json!({
+        "id": snap.id,
+        "request": job_request_to_json(&snap.request),
+        "status": snap.status.as_str(),
+        "history": Value::Array(history),
+        "reason": snap.reason.clone().map(Value::from).unwrap_or(Value::Null),
+        "plan": plan,
+        "sim": sim,
+        "metrics": {
+            "queue_wait_ns": snap.metrics.queue_wait_ns,
+            "plan_ns": snap.metrics.plan_ns,
+            "sim_ns": snap.metrics.sim_ns,
+            "total_ns": snap.metrics.total_ns,
+        },
+        "session_cache_hit": snap.session_cache_hit,
+        "retry_after_ms": snap.retry_after_ms.map(Value::from).unwrap_or(Value::Null),
+    })
+}
+
+/// Decode a journal snapshot (strict). The exact inverse of
+/// [`snapshot_to_journal_json`].
+pub fn snapshot_from_journal_json(value: &Value) -> Result<JobSnapshot, WireError> {
+    const CTX: &str = "journal snapshot";
+    let object = as_object(value, CTX)?;
+    deny_unknown(
+        object,
+        CTX,
+        &[
+            "id",
+            "request",
+            "status",
+            "history",
+            "reason",
+            "plan",
+            "sim",
+            "metrics",
+            "session_cache_hit",
+            "retry_after_ms",
+        ],
+    )?;
+    let status_name = get_str(object, CTX, "status")?;
+    let status = crate::types::JobStatus::parse(&status_name).ok_or(WireError::Invalid {
+        context: CTX,
+        message: format!("unknown status '{status_name}'"),
+    })?;
+    let history = object
+        .get("history")
+        .ok_or(WireError::MissingField {
+            context: CTX,
+            field: "history",
+        })?
+        .as_array()
+        .ok_or(WireError::Invalid {
+            context: CTX,
+            message: "'history' must be an array".to_string(),
+        })?
+        .iter()
+        .map(|entry| {
+            const HCTX: &str = "history entry";
+            let entry = as_object(entry, HCTX)?;
+            deny_unknown(entry, HCTX, &["status", "at_ns"])?;
+            let name = get_str(entry, HCTX, "status")?;
+            let status = crate::types::JobStatus::parse(&name).ok_or(WireError::Invalid {
+                context: HCTX,
+                message: format!("unknown status '{name}'"),
+            })?;
+            Ok((status, get_u64(entry, HCTX, "at_ns")?))
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let plan = match object.get("plan") {
+        None | Some(Value::Null) => None,
+        Some(value) => {
+            const PCTX: &str = "plan outcome";
+            let plan = as_object(value, PCTX)?;
+            deny_unknown(
+                plan,
+                PCTX,
+                &["spec", "predicted_jct_s", "predicted_cost_nanos", "summary"],
+            )?;
+            Some(crate::types::PlanOutcome {
+                spec: plan_spec_from_json(plan.get("spec").ok_or(WireError::MissingField {
+                    context: PCTX,
+                    field: "spec",
+                })?)?,
+                predicted_jct_s: get_f64(plan, PCTX, "predicted_jct_s")?,
+                predicted_cost: money_from_nanos_str(plan, PCTX, "predicted_cost_nanos")?,
+                summary: get_str(plan, PCTX, "summary")?,
+            })
+        }
+    };
+    let sim = match object.get("sim") {
+        None | Some(Value::Null) => None,
+        Some(value) => {
+            const SCTX: &str = "sim outcome";
+            let sim = as_object(value, SCTX)?;
+            deny_unknown(sim, SCTX, &["jct_s", "cost_nanos", "events"])?;
+            let array = |field: &'static str| -> Result<&Vec<Value>, WireError> {
+                sim.get(field)
+                    .ok_or(WireError::MissingField {
+                        context: SCTX,
+                        field,
+                    })?
+                    .as_array()
+                    .ok_or(WireError::Invalid {
+                        context: SCTX,
+                        message: format!("'{field}' must be an array"),
+                    })
+            };
+            let jct_s = array("jct_s")?
+                .iter()
+                .map(|v| {
+                    v.as_f64().ok_or(WireError::Invalid {
+                        context: SCTX,
+                        message: "'jct_s' entries must be numbers".to_string(),
+                    })
+                })
+                .collect::<Result<Vec<f64>, WireError>>()?;
+            let cost = array("cost_nanos")?
+                .iter()
+                .map(|v| {
+                    let text = v.as_str().ok_or(WireError::Invalid {
+                        context: SCTX,
+                        message: "'cost_nanos' entries must be decimal strings".to_string(),
+                    })?;
+                    Ok(Money::from_nanos(text.parse::<i128>().map_err(|e| {
+                        WireError::Invalid {
+                            context: SCTX,
+                            message: format!("'cost_nanos': {e}"),
+                        }
+                    })?))
+                })
+                .collect::<Result<Vec<Money>, WireError>>()?;
+            let events = array("events")?
+                .iter()
+                .map(|v| {
+                    v.as_u64().ok_or(WireError::Invalid {
+                        context: SCTX,
+                        message: "'events' entries must be non-negative integers".to_string(),
+                    })
+                })
+                .collect::<Result<Vec<u64>, WireError>>()?;
+            Some(crate::types::SimOutcome {
+                jct_s,
+                cost,
+                events,
+            })
+        }
+    };
+    const MCTX: &str = "metrics";
+    let metrics_obj = as_object(
+        object.get("metrics").ok_or(WireError::MissingField {
+            context: CTX,
+            field: "metrics",
+        })?,
+        MCTX,
+    )?;
+    deny_unknown(
+        metrics_obj,
+        MCTX,
+        &["queue_wait_ns", "plan_ns", "sim_ns", "total_ns"],
+    )?;
+    let metrics = crate::types::JobMetrics {
+        queue_wait_ns: get_u64(metrics_obj, MCTX, "queue_wait_ns")?,
+        plan_ns: get_u64(metrics_obj, MCTX, "plan_ns")?,
+        sim_ns: get_u64(metrics_obj, MCTX, "sim_ns")?,
+        total_ns: get_u64(metrics_obj, MCTX, "total_ns")?,
+    };
+    let retry_after_ms = match object.get("retry_after_ms") {
+        None | Some(Value::Null) => None,
+        Some(_) => Some(get_u64(object, CTX, "retry_after_ms")?),
+    };
+    Ok(JobSnapshot {
+        id: get_u64(object, CTX, "id")?,
+        request: job_request_from_json(object.get("request").ok_or(WireError::MissingField {
+            context: CTX,
+            field: "request",
+        })?)?,
+        status,
+        history,
+        reason: match object.get("reason") {
+            None | Some(Value::Null) => None,
+            Some(_) => Some(get_str(object, CTX, "reason")?),
+        },
+        plan,
+        sim,
+        metrics,
+        session_cache_hit: get_bool(object, CTX, "session_cache_hit")?,
+        retry_after_ms,
     })
 }
 

@@ -91,6 +91,7 @@ proptest! {
             claims.len(),
             envelope,
             astra::service::FairnessConfig::default(),
+            astra::service::OverloadConfig::disabled(),
             astra::telemetry::Telemetry::disabled(),
         ));
         let mut expected: Vec<u64> = Vec::new();
@@ -98,11 +99,11 @@ proptest! {
             // Spread the mix over two tenants so the DRR lanes are
             // exercised, not just the single-lane degenerate case.
             let tenant = if id % 2 == 0 { "even" } else { "odd" };
-            match sched.submit(id as u64, tenant, dollars(claim)) {
+            match sched.submit(id as u64, tenant, dollars(claim), false) {
                 Ok(()) => expected.push(id as u64),
                 Err(reason) => prop_assert!(
                     dollars(claim) > envelope.budget,
-                    "feasible job {id} rejected: {reason}"
+                    "feasible job {id} rejected: {reason:?}"
                 ),
             }
         }

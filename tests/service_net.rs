@@ -372,6 +372,7 @@ proptest! {
                 id: id as JobId,
                 claim: dollars(*claim),
                 tenant: Arc::from(tenants[*tenant]),
+                enqueued_ns: id as u64,
             });
         }
 
