@@ -14,7 +14,9 @@
 //!   measurable and gated alongside the disabled-path timing;
 //! * `sweep_serial/N{n}` / `sweep_parallel/N{n}` — a 16-replication
 //!   noisy seed sweep run as a serial loop versus `simulate_batch`,
-//!   with the speedup recorded;
+//!   with the speedup recorded (the parallel entry and its speedup row
+//!   are skipped entirely when the effective rayon pool is a single
+//!   thread — there is no fan-out to measure);
 //! * `service_throughput/N{n}` — a 16-job batch submitted through the
 //!   `astra-service` daemon (2 workers, session cache warm after the
 //!   first job) and drained to terminal snapshots, so the whole
@@ -138,41 +140,52 @@ fn run_suite(args: &BenchArgs) -> Value {
             "mean_ms": serial_mean,
             "min_ms": serial_min,
         }));
-        let (par_mean, par_min) = time_ms(args.samples, || {
-            let cases: Vec<SimCase<'_>> = seeds
-                .iter()
-                .map(|&s| SimCase {
-                    job: &job,
-                    plan: &plan,
-                    config: config(s),
-                })
-                .collect();
-            simulate_batch(cases).len()
-        });
         // The effective worker count for this sweep: however many
         // threads rayon resolved to (after any `--threads` pin), capped
         // by the case count. Stamped on the entry so `--check` only
-        // compares parallel timings recorded at the same fan-out.
+        // compares parallel timings recorded at the same fan-out. On a
+        // single-thread pool the "parallel" sweep is just the serial
+        // loop plus rayon dispatch overhead — the entry would gate
+        // nothing and its sub-1.0 "speedup" only misleads — so both it
+        // and the speedup row are skipped rather than emitted.
         let threads_effective = rayon::current_num_threads().min(SWEEP_RUNS as usize);
-        eprintln!(
-            "bench sweep_parallel/N{n}: mean {par_mean:.2} ms, min {par_min:.2} ms \
-             ({threads_effective} threads)"
-        );
-        results.push(json!({
-            "name": format!("sweep_parallel/N{n}"),
-            "n": n,
-            "runs": SWEEP_RUNS,
-            "mean_ms": par_mean,
-            "min_ms": par_min,
-            "threads": threads_effective,
-        }));
-        speedups.push(json!({
-            "name": format!("sweep/N{n}"),
-            "serial_ms": serial_min,
-            "parallel_ms": par_min,
-            "speedup": serial_min / par_min,
-            "threads": threads_effective,
-        }));
+        if threads_effective <= 1 {
+            eprintln!(
+                "bench sweep_parallel/N{n}: skipped (effective thread pool is 1; \
+                 nothing to fan out)"
+            );
+        } else {
+            let (par_mean, par_min) = time_ms(args.samples, || {
+                let cases: Vec<SimCase<'_>> = seeds
+                    .iter()
+                    .map(|&s| SimCase {
+                        job: &job,
+                        plan: &plan,
+                        config: config(s),
+                    })
+                    .collect();
+                simulate_batch(cases).len()
+            });
+            eprintln!(
+                "bench sweep_parallel/N{n}: mean {par_mean:.2} ms, min {par_min:.2} ms \
+                 ({threads_effective} threads)"
+            );
+            results.push(json!({
+                "name": format!("sweep_parallel/N{n}"),
+                "n": n,
+                "runs": SWEEP_RUNS,
+                "mean_ms": par_mean,
+                "min_ms": par_min,
+                "threads": threads_effective,
+            }));
+            speedups.push(json!({
+                "name": format!("sweep/N{n}"),
+                "serial_ms": serial_min,
+                "parallel_ms": par_min,
+                "speedup": serial_min / par_min,
+                "threads": threads_effective,
+            }));
+        }
 
         // Service-daemon throughput: the same job submitted SWEEP_RUNS
         // times (distinct seeds) through a 2-worker daemon, timed from

@@ -212,6 +212,7 @@ impl PruneStats {
 }
 
 /// The built planner DAG for one job.
+#[derive(Clone)]
 pub struct PlannerDag {
     graph: DiGraph<Choice, EdgeMetrics>,
     source: NodeId,
@@ -237,6 +238,7 @@ pub struct PlannerDag {
 /// [`ConfigSpace::bundled`] (1 everywhere otherwise); the
 /// `planner.dag.bundles_collapsed` gauge totals the candidates folded
 /// away.
+#[derive(Clone)]
 pub struct SoaEdges {
     offsets: Vec<u32>,
     heads: Vec<u32>,
@@ -292,6 +294,33 @@ impl SoaEdges {
             costs,
             multiplicity,
             topo,
+        }
+    }
+
+    /// Re-copy `times`/`costs` from the graph's edge payloads after an
+    /// in-place recost. Topology (`offsets`/`heads`/`edge_ids`/
+    /// `multiplicity`/`topo`) is untouched — callers guarantee the
+    /// graph's shape did not change.
+    fn refresh_metrics(&mut self, g: &DiGraph<Choice, EdgeMetrics>) {
+        for i in 0..self.edge_ids.len() {
+            let m = g.edge(EdgeId(self.edge_ids[i]));
+            self.times[i] = m.time_s;
+            self.costs[i] = m.cost_nanos;
+        }
+    }
+
+    /// Like [`SoaEdges::refresh_metrics`], but re-copies only the
+    /// out-edges of the marked tail nodes — the store is grouped by
+    /// tail, so a recost that tracked its dirty tails pays for the
+    /// affected slices instead of the whole edge array.
+    fn refresh_metrics_on(&mut self, g: &DiGraph<Choice, EdgeMetrics>, tails: &[bool]) {
+        debug_assert_eq!(tails.len() + 1, self.offsets.len());
+        for u in tails.iter().enumerate().filter(|&(_, &d)| d).map(|(u, _)| u) {
+            for i in self.offsets[u] as usize..self.offsets[u + 1] as usize {
+                let m = g.edge(EdgeId(self.edge_ids[i]));
+                self.times[i] = m.time_s;
+                self.costs[i] = m.cost_nanos;
+            }
         }
     }
 
@@ -917,6 +946,198 @@ impl PlannerDag {
                 .map(|&e| self.graph.edge(e).cost_nanos as i128)
                 .sum(),
         )
+    }
+
+    /// Overwrite one edge's metrics in the graph arena (the SoA mirror
+    /// is refreshed separately via [`PlannerDag::refresh_soa_metrics`]).
+    pub(crate) fn set_edge(&mut self, eid: EdgeId, m: EdgeMetrics) {
+        *self.graph.edge_mut(eid) = m;
+    }
+
+    /// Re-copy the SoA mirror's times/costs from the graph payloads
+    /// after a batch of [`PlannerDag::set_edge`] writes.
+    pub(crate) fn refresh_soa_metrics(&mut self) {
+        let PlannerDag { graph, soa, .. } = self;
+        soa.refresh_metrics(graph);
+    }
+
+    /// Re-copy the SoA mirror's times/costs for the out-edges of the
+    /// marked tail nodes only (`tails[u]` ⇒ node `u`'s out-edges may
+    /// have been rewritten by [`PlannerDag::set_edge`]).
+    pub(crate) fn refresh_soa_metrics_on(&mut self, tails: &[bool]) {
+        let PlannerDag { graph, soa, .. } = self;
+        soa.refresh_metrics_on(graph, tails);
+    }
+
+    /// Tier-B incremental patch: recompute the column recipes for the
+    /// (changed) job behind `cache` and *replay* [`assemble`]'s exact
+    /// node/edge emission order against this DAG's existing topology,
+    /// overwriting edge metrics in place.
+    ///
+    /// Because assembly order is deterministic, a successful replay — a
+    /// node-by-node, edge-by-edge topology match that consumes exactly
+    /// the stored node and edge counts — produces a graph bit-identical
+    /// to a cold [`PlannerDag::build_with_cache`] at the new inputs.
+    /// Any divergence (a feasibility gate or pruning verdict flipped, so
+    /// the new build would have different shape) returns `false`; the
+    /// DAG's payloads are then partially overwritten and the caller
+    /// **must** discard it and rebuild. `space` and `prune` must be the
+    /// ones the DAG was originally built with (the delta classifier
+    /// guarantees this — space changes are reshape deltas).
+    pub(crate) fn try_patch_recompute(
+        &mut self,
+        catalog: &PriceCatalog,
+        space: &ConfigSpace,
+        cache: &ModelCache<'_>,
+        prune: PruneConfig,
+    ) -> bool {
+        let (job, platform) = (cache.job(), cache.platform());
+        job.profile.validate();
+        let coord_compute = coord_compute_per_tier(job, platform, space);
+
+        // Same parallel recipe passes as `build_with_cache`.
+        let col2: Vec<Col2Recipe> = space
+            .k_m_values
+            .par_iter()
+            .filter_map(|&k_m| col2_recipe(platform, catalog, space, cache, prune, k_m))
+            .collect();
+        let col3_flat: Vec<Option<(usize, Col3Recipe)>> = {
+            let work: Vec<(usize, usize, usize)> = col2
+                .iter()
+                .enumerate()
+                .flat_map(|(ci, r)| {
+                    space
+                        .k_r_candidates(r.j)
+                        .into_iter()
+                        .map(move |k_r| (ci, r.k_m, k_r))
+                })
+                .collect();
+            work.par_iter()
+                .map(|&(ci, k_m, k_r)| {
+                    col3_recipe(platform, catalog, space, cache, &coord_compute, prune, k_m, k_r)
+                        .map(|r| (ci, r))
+                })
+                .collect()
+        };
+
+        // Replay `assemble`'s emission order, checking topology and
+        // overwriting payloads as we go.
+        fn take_node(
+            g: &DiGraph<Choice, EdgeMetrics>,
+            next: &mut u32,
+            want: Choice,
+        ) -> Option<NodeId> {
+            let id = NodeId(*next);
+            if (*next as usize) >= g.node_count() || *g.node(id) != want {
+                return None;
+            }
+            *next += 1;
+            Some(id)
+        }
+        fn take_edge(
+            g: &mut DiGraph<Choice, EdgeMetrics>,
+            next: &mut u32,
+            from: NodeId,
+            to: NodeId,
+            m: EdgeMetrics,
+        ) -> bool {
+            let id = EdgeId(*next);
+            if (*next as usize) >= g.edge_count() || g.endpoints(id) != (from, to) {
+                return false;
+            }
+            *g.edge_mut(id) = m;
+            *next += 1;
+            true
+        }
+
+        let tiers = &space.memory_tiers_mb;
+        let g = &mut self.graph;
+        let (mut nn, mut ne) = (0u32, 0u32);
+        let Some(source) = take_node(g, &mut nn, Choice::Source) else {
+            return false;
+        };
+        let Some(sink) = take_node(g, &mut nn, Choice::Sink) else {
+            return false;
+        };
+        let mut col1 = Vec::with_capacity(tiers.len());
+        for &m in tiers.iter() {
+            let Some(id) = take_node(g, &mut nn, Choice::MapperMem(m)) else {
+                return false;
+            };
+            if !take_edge(g, &mut ne, source, id, metrics(0.0, Money::ZERO)) {
+                return false;
+            }
+            col1.push(id);
+        }
+        let mut col5 = Vec::with_capacity(tiers.len());
+        for &m in tiers.iter() {
+            let Some(id) = take_node(g, &mut nn, Choice::ReducerMem(m)) else {
+                return false;
+            };
+            if !take_edge(g, &mut ne, id, sink, metrics(0.0, Money::ZERO)) {
+                return false;
+            }
+            col5.push(id);
+        }
+
+        let mut prune_stats = PruneStats::default();
+        let mut col2_nodes = Vec::with_capacity(col2.len());
+        for r in &col2 {
+            prune_stats.mapper_edges += r.pruned_edges;
+            let Some(node) = take_node(g, &mut nn, Choice::ObjectsPerMapper(r.k_m)) else {
+                return false;
+            };
+            for &(ti, m) in &r.mapper_edges {
+                if !take_edge(g, &mut ne, col1[ti], node, m) {
+                    return false;
+                }
+            }
+            col2_nodes.push(node);
+        }
+
+        for (ci, recipe) in col3_flat.into_iter().flatten() {
+            prune_stats.coordinator_nodes += recipe.pruned_coords;
+            prune_stats.reducer_edges += recipe.pruned_final_edges;
+            if recipe.per_coord.is_empty() {
+                continue;
+            }
+            let k_m = col2[ci].k_m;
+            let k_r = recipe.k_r;
+            let Some(col3_node) = take_node(g, &mut nn, Choice::ObjectsPerReducer { k_m, k_r })
+            else {
+                return false;
+            };
+            if !take_edge(g, &mut ne, col2_nodes[ci], col3_node, recipe.e2) {
+                return false;
+            }
+            for (ai, coord) in recipe.per_coord {
+                let want = Choice::CoordinatorMem {
+                    k_m,
+                    k_r,
+                    mem: tiers[ai],
+                };
+                let Some(col4_node) = take_node(g, &mut nn, want) else {
+                    return false;
+                };
+                if !take_edge(g, &mut ne, col3_node, col4_node, coord.e3) {
+                    return false;
+                }
+                for (si, m) in coord.final_edges {
+                    if !take_edge(g, &mut ne, col4_node, col5[si], m) {
+                        return false;
+                    }
+                }
+            }
+        }
+
+        // The replay must consume the graph exactly: leftovers mean the
+        // new build would emit fewer nodes/edges than the old shape.
+        if nn as usize != g.node_count() || ne as usize != g.edge_count() {
+            return false;
+        }
+        self.prune_stats = prune_stats;
+        self.refresh_soa_metrics();
+        true
     }
 }
 

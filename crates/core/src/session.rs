@@ -11,9 +11,12 @@
 //! sweep with it, so repeated queries run at label-search speed alone
 //! (the `session_sweep_*` bench entries track the resulting speedup).
 
+use std::collections::BTreeMap;
+
 use astra_model::{JobConfig, JobSpec, Platform};
 use astra_pricing::PriceCatalog;
 use astra_telemetry::Telemetry;
+use parking_lot::Mutex;
 use rayon::prelude::*;
 
 use crate::astra::PlanError;
@@ -21,6 +24,7 @@ use crate::cache::ModelCache;
 use crate::dag::{PlannerDag, PruneConfig};
 use crate::objective::Objective;
 use crate::plan::Plan;
+use crate::replan::{JobDelta, RecostPlan, ReplanOutcome};
 use crate::solver::{
     solve_exhaustive_with_telemetry, solve_on_dag_with_potentials, PlannerPotentials, Strategy,
 };
@@ -62,10 +66,64 @@ pub struct PlannerSession {
     catalog: PriceCatalog,
     space: ConfigSpace,
     strategy: Strategy,
+    prune: PruneConfig,
     telemetry: Telemetry,
     dag: PlannerDag,
     potentials: PlannerPotentials,
+    /// Solved `(objective, bounds) → answer` memo (see `AnswerMemo`).
+    memo: Mutex<AnswerMemo>,
+    /// Lazily captured topology index for the fast recost tier; dropped
+    /// on rebuild (the node/edge layout it indexes is gone).
+    recost: Option<RecostPlan>,
 }
+
+impl Clone for PlannerSession {
+    fn clone(&self) -> Self {
+        PlannerSession {
+            job: self.job.clone(),
+            platform: self.platform.clone(),
+            catalog: self.catalog,
+            space: self.space.clone(),
+            strategy: self.strategy,
+            prune: self.prune,
+            telemetry: self.telemetry.clone(),
+            dag: self.dag.clone(),
+            potentials: self.potentials.clone(),
+            memo: Mutex::new(self.memo.lock().clone()),
+            recost: self.recost.clone(),
+        }
+    }
+}
+
+/// Per-session memo of solved answers, consulted before label search.
+///
+/// Serving is restricted to situations provably identical to a fresh
+/// solve, so memoized sessions stay bit-identical to cold ones:
+///
+/// * **exact-key hits** — the solver is deterministic, so repeating the
+///   identical `(objective, bound)` returns the stored answer;
+/// * **monotone infeasibility** — the feasible path set only grows with
+///   the bound (the solver's epsilon-slackened bound is monotone in the
+///   raw bound), so any budget ≤ a known-infeasible budget, or deadline
+///   ≤ a known-infeasible deadline, is infeasible without a search.
+///
+/// Interval-serving of *solved* answers between two stored bounds is
+/// deliberately **not** done: it risks diverging from the solver's exact
+/// tie-breaking on bound-sensitive ties.
+///
+/// Deadlines key by `f64::to_bits`, whose order matches numeric order
+/// for the non-negative finite values the guards admit.
+#[derive(Debug, Clone, Default)]
+struct AnswerMemo {
+    solved_time: BTreeMap<i128, JobConfig>,
+    solved_cost: BTreeMap<u64, JobConfig>,
+    infeasible_below_budget: Option<i128>,
+    infeasible_below_deadline: Option<u64>,
+}
+
+/// Cap on stored answers per objective family; the maps reset past it
+/// (frontier sweeps store a few dozen, so this never fires in practice).
+const MEMO_CAP: usize = 4096;
 
 impl PlannerSession {
     /// Build a session: one DAG construction (pruned per the
@@ -116,16 +174,97 @@ impl PlannerSession {
             catalog,
             space,
             strategy,
+            prune,
             telemetry,
             dag,
             potentials,
+            memo: Mutex::new(AnswerMemo::default()),
+            recost: None,
         }
     }
 
     /// Answer one constrained query. Exact strategies reuse the DAG and
     /// potentials; [`Strategy::Exhaustive`] sweeps the space through a
-    /// fresh model cache (it never touches the DAG).
+    /// fresh model cache (it never touches the DAG). Answers are served
+    /// from the session's `AnswerMemo` when provably identical to a
+    /// fresh solve (`planner.session.memo_hits` / `.memo_misses` count
+    /// the split).
     pub fn solve(&self, objective: Objective) -> Option<JobConfig> {
+        if let Some(answer) = self.memo_lookup(objective) {
+            self.telemetry.counter("planner.session.memo_hits", 1);
+            return answer;
+        }
+        self.telemetry.counter("planner.session.memo_misses", 1);
+        let answer = self.solve_uncached(objective);
+        self.memo_store(objective, answer);
+        answer
+    }
+
+    fn memo_lookup(&self, objective: Objective) -> Option<Option<JobConfig>> {
+        let memo = self.memo.lock();
+        match objective {
+            Objective::MinimizeTime { budget } => {
+                let key = budget.nanos();
+                if let Some(cfg) = memo.solved_time.get(&key) {
+                    return Some(Some(*cfg));
+                }
+                match memo.infeasible_below_budget {
+                    Some(b) if key <= b => Some(None),
+                    _ => None,
+                }
+            }
+            Objective::MinimizeCost { deadline_s } => {
+                if !deadline_s.is_finite() || deadline_s < 0.0 {
+                    return None;
+                }
+                let key = deadline_s.to_bits();
+                if let Some(cfg) = memo.solved_cost.get(&key) {
+                    return Some(Some(*cfg));
+                }
+                match memo.infeasible_below_deadline {
+                    Some(d) if key <= d => Some(None),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    fn memo_store(&self, objective: Objective, answer: Option<JobConfig>) {
+        let mut memo = self.memo.lock();
+        match (objective, answer) {
+            (Objective::MinimizeTime { budget }, Some(cfg)) => {
+                if memo.solved_time.len() >= MEMO_CAP {
+                    memo.solved_time.clear();
+                }
+                memo.solved_time.insert(budget.nanos(), cfg);
+            }
+            (Objective::MinimizeTime { budget }, None) => {
+                let b = budget.nanos();
+                memo.infeasible_below_budget =
+                    Some(memo.infeasible_below_budget.map_or(b, |x| x.max(b)));
+            }
+            (Objective::MinimizeCost { deadline_s }, answer) => {
+                if !deadline_s.is_finite() || deadline_s < 0.0 {
+                    return;
+                }
+                let key = deadline_s.to_bits();
+                match answer {
+                    Some(cfg) => {
+                        if memo.solved_cost.len() >= MEMO_CAP {
+                            memo.solved_cost.clear();
+                        }
+                        memo.solved_cost.insert(key, cfg);
+                    }
+                    None => {
+                        memo.infeasible_below_deadline =
+                            Some(memo.infeasible_below_deadline.map_or(key, |x| x.max(key)));
+                    }
+                }
+            }
+        }
+    }
+
+    fn solve_uncached(&self, objective: Objective) -> Option<JobConfig> {
         match self.strategy {
             Strategy::Exhaustive => solve_exhaustive_with_telemetry(
                 &self.job,
@@ -190,9 +329,164 @@ impl PlannerSession {
         Ok(frontier)
     }
 
+    /// Re-aim the session at new planning inputs, repairing its DAG,
+    /// potentials and answer memo as cheaply as the delta allows (see
+    /// the [`crate::replan`] module docs for the tier taxonomy). The
+    /// resulting session answers every query bit-identically to a cold
+    /// [`PlannerSession::new`] at the new inputs
+    /// (`tests/replan_equivalence.rs` pins this under proptest).
+    pub fn apply_delta(
+        &mut self,
+        job: &JobSpec,
+        platform: &Platform,
+        catalog: &PriceCatalog,
+        space: &ConfigSpace,
+    ) -> ReplanOutcome {
+        let delta = JobDelta::classify(
+            &self.job,
+            &self.space,
+            &self.platform,
+            &self.catalog,
+            job,
+            space,
+            platform,
+            catalog,
+        );
+        let outcome = self.apply_classified(&delta, job, platform, catalog, space);
+        self.telemetry.counter(
+            match outcome {
+                ReplanOutcome::Unchanged => "planner.session.replan_unchanged",
+                ReplanOutcome::Patched => "planner.session.replan_patched",
+                ReplanOutcome::Replayed => "planner.session.replan_replayed",
+                ReplanOutcome::Rebuilt => "planner.session.replan_rebuilt",
+            },
+            1,
+        );
+        outcome
+    }
+
+    fn apply_classified(
+        &mut self,
+        delta: &JobDelta,
+        job: &JobSpec,
+        platform: &Platform,
+        catalog: &PriceCatalog,
+        space: &ConfigSpace,
+    ) -> ReplanOutcome {
+        if delta.is_cosmetic() {
+            // Renames never reach the model: keep DAG, potentials and
+            // the whole memo.
+            self.job = job.clone();
+            return ReplanOutcome::Unchanged;
+        }
+        // Exhaustive sessions are validation-scale; their DAG accessor
+        // must stay truthful, so any model-bearing delta just rebuilds.
+        if !delta.patchable() || self.strategy == Strategy::Exhaustive {
+            return self.rebuild(job, platform, catalog, space);
+        }
+        let eff = effective_prune(self.prune, self.strategy);
+        if !eff.pareto_tiers && delta.fast_patchable() {
+            if self.recost.is_none() {
+                self.recost = RecostPlan::capture(&self.dag, &self.space);
+            }
+            if let Some(plan) = self.recost.take() {
+                match plan.patch(&mut self.dag, delta, job, platform, catalog, space) {
+                    Some(dirty) => {
+                        self.potentials = self.potentials.resume(&self.dag, &dirty);
+                        self.set_inputs(job, platform, catalog, space);
+                        self.invalidate_memo(delta);
+                        // Topology untouched: the capture stays valid.
+                        self.recost = Some(plan);
+                        return ReplanOutcome::Patched;
+                    }
+                    // A feasibility gate flipped: the new shape differs.
+                    None => return self.rebuild(job, platform, catalog, space),
+                }
+            }
+        }
+        // Recipe replay: recompute all recipes, overwrite in place if
+        // the topology still matches.
+        let cache = ModelCache::new(job, platform);
+        if self.dag.try_patch_recompute(catalog, space, &cache, eff) {
+            drop(cache);
+            self.potentials = PlannerPotentials::compute(&self.dag);
+            self.set_inputs(job, platform, catalog, space);
+            self.invalidate_memo(delta);
+            // Replay verified the topology, so an existing capture is
+            // still accurate.
+            return ReplanOutcome::Replayed;
+        }
+        drop(cache);
+        self.rebuild(job, platform, catalog, space)
+    }
+
+    fn set_inputs(
+        &mut self,
+        job: &JobSpec,
+        platform: &Platform,
+        catalog: &PriceCatalog,
+        space: &ConfigSpace,
+    ) {
+        self.job = job.clone();
+        self.platform = platform.clone();
+        self.catalog = *catalog;
+        self.space = space.clone();
+    }
+
+    fn rebuild(
+        &mut self,
+        job: &JobSpec,
+        platform: &Platform,
+        catalog: &PriceCatalog,
+        space: &ConfigSpace,
+    ) -> ReplanOutcome {
+        *self = PlannerSession::build(
+            job,
+            platform.clone(),
+            *catalog,
+            space.clone(),
+            self.strategy,
+            self.prune,
+            self.telemetry.clone(),
+        );
+        ReplanOutcome::Rebuilt
+    }
+
+    /// Selectively invalidate the answer memo for a *successfully
+    /// patched* delta (rebuilds reset it wholesale).
+    fn invalidate_memo(&mut self, delta: &JobDelta) {
+        let mut memo = self.memo.lock();
+        if !delta.affects_time() {
+            // Prices-only: achievable completion times are untouched,
+            // so "deadline D is infeasible" still holds — but every
+            // cost-bearing answer may have moved.
+            memo.solved_time.clear();
+            memo.solved_cost.clear();
+            memo.infeasible_below_budget = None;
+        } else {
+            *memo = AnswerMemo::default();
+        }
+    }
+
     /// The job this session plans.
     pub fn job(&self) -> &JobSpec {
         &self.job
+    }
+
+    /// The platform this session plans against.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The price catalog in effect.
+    pub fn catalog(&self) -> &PriceCatalog {
+        &self.catalog
+    }
+
+    /// The prune configuration the session was requested with (the DAG
+    /// applies `effective_prune` of this and the strategy).
+    pub fn prune(&self) -> PruneConfig {
+        self.prune
     }
 
     /// The configuration space in effect.

@@ -2,6 +2,7 @@
 
 use astra_graph::csp::{
     constrained_shortest_path, constrained_shortest_path_with_bounds_on, dag_potentials_on,
+    dag_potentials_resume_on, Potentials,
 };
 use astra_graph::yen::KShortestPaths;
 use astra_model::{evaluate, JobConfig, JobSpec, Platform};
@@ -134,6 +135,28 @@ impl PlannerPotentials {
     pub fn compute(dag: &PlannerDag) -> PlannerPotentials {
         let pots = dag_potentials_on(&mut dag.soa().time_view(), dag.sink().0)
             .expect("planner graph is acyclic by construction");
+        PlannerPotentials {
+            min_time_to: pots.min_weight_to,
+            min_cost_to: pots.min_resource_to,
+        }
+    }
+
+    /// Repair potentials after an in-place DAG recost, reusing this
+    /// instance's values wherever `dirty_tails` proves they cannot have
+    /// moved (see `dag_potentials_resume_on` — the result is
+    /// bit-identical to a fresh [`PlannerPotentials::compute`]).
+    pub(crate) fn resume(&self, dag: &PlannerDag, dirty_tails: &[bool]) -> PlannerPotentials {
+        let prev = Potentials {
+            min_weight_to: self.min_time_to.clone(),
+            min_resource_to: self.min_cost_to.clone(),
+        };
+        let pots = dag_potentials_resume_on(
+            &mut dag.soa().time_view(),
+            dag.sink().0,
+            &prev,
+            dirty_tails,
+        )
+        .expect("planner graph is acyclic by construction");
         PlannerPotentials {
             min_time_to: pots.min_weight_to,
             min_cost_to: pots.min_resource_to,

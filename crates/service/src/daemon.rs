@@ -57,7 +57,7 @@ use astra_pricing::PriceCatalog;
 use astra_telemetry::{wall_clock_ns, Telemetry};
 
 use crate::admission::Envelope;
-use crate::cache::{SessionCache, SessionCacheStats, SessionKey};
+use crate::cache::{CacheLookup, SessionCache, SessionCacheStats, SessionKey};
 use crate::fairness::{FairnessConfig, TenantStats};
 use crate::faults::{FaultAction, FaultPlan, FaultSite};
 use crate::journal::Journal;
@@ -328,6 +328,27 @@ impl Inner {
         (space, key)
     }
 
+    /// Fetch or create the session for `job` through the shared cache,
+    /// revalidating near-misses: a resident session whose inputs differ
+    /// only by a patchable delta is cloned and patched instead of
+    /// cold-built (see [`SessionCache::get_or_patch`]).
+    fn session_cached(
+        &self,
+        job: &JobSpec,
+    ) -> (Arc<astra_core::PlannerSession>, CacheLookup) {
+        let (space, key) = self.session_key(job);
+        self.cache.get_or_patch(
+            key,
+            job,
+            &space,
+            &self.platform,
+            &self.catalog,
+            self.astra.strategy(),
+            self.astra.prune_config(),
+            || self.astra.session_with_space(job, &space),
+        )
+    }
+
     /// Plan `job` under this daemon's configuration through the shared
     /// session cache. Returns the plan and whether the cache hit. The
     /// [`FaultSite::CacheBuild`] check is keyed by job id, so it fires
@@ -349,11 +370,11 @@ impl Inner {
                 false,
             );
         }
-        let (space, key) = self.session_key(job);
-        let (session, hit) = self
-            .cache
-            .get_or_build(key, || self.astra.session_with_space(job, &space));
-        (session.plan(objective).map_err(|e| e.to_string()), hit)
+        let (session, lookup) = self.session_cached(job);
+        (
+            session.plan(objective).map_err(|e| e.to_string()),
+            lookup == CacheLookup::Hit,
+        )
     }
 
     /// The whole per-job worker path; `Err` is a failure reason.
@@ -721,6 +742,24 @@ impl ServiceHandle {
         }
     }
 
+    /// Resubmit a prior job, optionally with a revised request — the
+    /// interactive re-quote path. Returns `None` when `prior` was never
+    /// issued by this daemon; otherwise the new job id (the new job is
+    /// planned through the session cache, so a revised spec that differs
+    /// from the prior one only by a patchable delta — tweaked
+    /// coefficients, new prices, resized objects — is served by
+    /// clone-and-patch instead of a cold DAG build). When `revised` is
+    /// `None` the prior request is replayed verbatim (typically an exact
+    /// cache hit).
+    pub fn resubmit(&self, prior: JobId, revised: Option<JobRequest>) -> Option<JobId> {
+        let prior_request = {
+            let table = self.inner.table.lock().unwrap();
+            table.jobs.get(&prior)?.request.clone()
+        };
+        self.inner.telemetry.counter("service.resubmitted", 1);
+        Some(self.submit(revised.unwrap_or(prior_request)))
+    }
+
     /// A point-in-time copy of one job's record.
     pub fn status(&self, id: JobId) -> Option<JobSnapshot> {
         self.inner.table.lock().unwrap().jobs.get(&id).cloned()
@@ -747,11 +786,7 @@ impl ServiceHandle {
             .inner
             .telemetry
             .wall_span("service", "service.frontier", "service");
-        let (space, key) = self.inner.session_key(job);
-        let (session, _) = self
-            .inner
-            .cache
-            .get_or_build(key, || self.inner.astra.session_with_space(job, &space));
+        let (session, _) = self.inner.session_cached(job);
         session
             .pareto_frontier(points)
             .map(|plans| {
@@ -772,7 +807,8 @@ impl ServiceHandle {
         self.inner.jobs_sorted()
     }
 
-    /// Session-cache statistics (hits / misses / evictions / residency).
+    /// Session-cache statistics (hits / patched / misses / evictions /
+    /// residency).
     pub fn cache_stats(&self) -> SessionCacheStats {
         self.inner.cache.stats()
     }
@@ -900,6 +936,43 @@ mod tests {
         assert!(snap.session_cache_hit);
         let stats = handle.cache_stats();
         assert!(stats.hits >= 1, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn resubmit_replays_and_patches_through_the_cache() {
+        let daemon = ServiceDaemon::start(ServiceConfig {
+            // Pruning off keeps the DAG shape insensitive to coefficient
+            // tweaks, so the revised resubmit exercises clone-and-patch.
+            prune: PruneConfig::off(),
+            ..small_config()
+        });
+        let handle = daemon.handle();
+
+        let id = handle.submit(request(4));
+        assert_eq!(handle.await_done(id).unwrap().status, JobStatus::Done);
+
+        // Verbatim resubmit: a fresh job with the prior spec, planned
+        // from the already-resident session.
+        let replay = handle.resubmit(id, None).unwrap();
+        assert_ne!(replay, id);
+        let snap = handle.await_done(replay).unwrap();
+        assert_eq!(snap.status, JobStatus::Done);
+        assert_eq!(snap.request.job, request(4).job);
+        assert!(snap.session_cache_hit);
+
+        // Revised resubmit differing only by a mapper coefficient: the
+        // cached session is cloned and patched, not cold-built.
+        let mut revised = request(4);
+        revised.job.profile.map_secs_per_mb_128 *= 1.3;
+        let requote = handle.resubmit(id, Some(revised.clone())).unwrap();
+        let snap = handle.await_done(requote).unwrap();
+        assert_eq!(snap.status, JobStatus::Done);
+        assert_eq!(snap.request.job, revised.job);
+        let stats = handle.cache_stats();
+        assert!(stats.patched >= 1, "stats: {stats:?}");
+
+        // A prior id the daemon never issued is a lookup miss.
+        assert!(handle.resubmit(99_999, None).is_none());
     }
 
     #[test]

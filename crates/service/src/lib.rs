@@ -76,7 +76,7 @@ pub mod types;
 pub mod wire;
 
 pub use admission::{Admission, AdmissionController, Envelope};
-pub use cache::{SessionCache, SessionCacheStats, SessionKey};
+pub use cache::{CacheLookup, SessionCache, SessionCacheStats, SessionKey};
 pub use daemon::{ServiceConfig, ServiceDaemon, ServiceHandle};
 pub use fairness::{FairnessConfig, TenantEnvelope, TenantStats};
 pub use faults::{FaultAction, FaultPlan, FaultRule, FaultSite};

@@ -81,13 +81,14 @@ pub mod codes {
     /// `op` missing or not a string, a field unknown to the op, or a
     /// required field missing/mistyped.
     pub const BAD_ENVELOPE: &str = "BAD_ENVELOPE";
-    /// The envelope's `op` is none of `submit` / `status` / `await` /
-    /// `ping` / `stats`.
+    /// The envelope's `op` is none of `submit` / `resubmit` / `status` /
+    /// `await` / `ping` / `stats`.
     pub const UNKNOWN_OP: &str = "UNKNOWN_OP";
-    /// A `submit` whose `request` body failed strict wire decoding
-    /// (unknown field, missing field, invalid value).
+    /// A `submit` / `resubmit` whose `request` body failed strict wire
+    /// decoding (unknown field, missing field, invalid value).
     pub const BAD_REQUEST: &str = "BAD_REQUEST";
-    /// A `status` / `await` for a job id this daemon never issued.
+    /// A `status` / `await` / `resubmit` for a job id this daemon never
+    /// issued.
     pub const UNKNOWN_JOB: &str = "UNKNOWN_JOB";
     /// The server's reader-thread budget is exhausted; this refusal is
     /// sent as the connection's only line before the server closes it.
@@ -275,6 +276,36 @@ fn envelope_err(handle: &ServiceHandle, op: Option<&str>, message: String) -> Va
     reject_with(handle, op, codes::BAD_ENVELOPE, message)
 }
 
+/// The response for a registered submission under `op`. An overload shed
+/// answers `ok:false OVERLOADED` with the retry hint, so a client can
+/// back off without polling — the rejected job still rides on the line
+/// like any other refusal.
+fn submitted_response(handle: &ServiceHandle, op: &str, id: JobId) -> Value {
+    let shed = handle
+        .status(id)
+        .filter(|snap| snap.status == JobStatus::Rejected && snap.retry_after_ms.is_some());
+    if let Some(snap) = shed {
+        let retry_after_ms = snap.retry_after_ms.unwrap_or(0);
+        let reason = snap.reason.clone().unwrap_or_default();
+        let mut obj = Map::new();
+        obj.insert("ok".to_string(), Value::from(false));
+        obj.insert("op".to_string(), Value::from(op));
+        obj.insert(
+            "error".to_string(),
+            json!({
+                "code": codes::OVERLOADED,
+                "message": reason,
+                "retry_after_ms": retry_after_ms,
+            }),
+        );
+        obj.insert("job".to_string(), wire::snapshot_to_json(&snap));
+        return Value::Object(obj);
+    }
+    let mut obj = ok_response(op);
+    obj.insert("id".to_string(), Value::from(id));
+    Value::Object(obj)
+}
+
 /// Answer one framed request line. Infallible: every failure mode is an
 /// `ok:false` response value.
 fn handle_line(handle: &ServiceHandle, telemetry: &Telemetry, line: &[u8]) -> Value {
@@ -306,6 +337,7 @@ fn handle_line(handle: &ServiceHandle, telemetry: &Telemetry, line: &[u8]) -> Va
     };
     let allowed: &[&str] = match op.as_str() {
         "submit" => &["op", "request"],
+        "resubmit" => &["op", "id", "request"],
         "status" | "await" => &["op", "id"],
         "ping" | "stats" => &["op"],
         other => {
@@ -335,35 +367,45 @@ fn handle_line(handle: &ServiceHandle, telemetry: &Telemetry, line: &[u8]) -> Va
                 Ok(request) => {
                     telemetry.counter("service.net.submits", 1);
                     let id = handle.submit(request);
-                    // An overload shed answers `ok:false OVERLOADED`
-                    // with the retry hint, so a client can back off
-                    // without polling — the rejected job still rides on
-                    // the line like any other refusal.
-                    let shed = handle.status(id).filter(|snap| {
-                        snap.status == JobStatus::Rejected && snap.retry_after_ms.is_some()
-                    });
-                    if let Some(snap) = shed {
-                        let retry_after_ms = snap.retry_after_ms.unwrap_or(0);
-                        let reason = snap.reason.clone().unwrap_or_default();
-                        let mut obj = Map::new();
-                        obj.insert("ok".to_string(), Value::from(false));
-                        obj.insert("op".to_string(), Value::from("submit"));
-                        obj.insert(
-                            "error".to_string(),
-                            json!({
-                                "code": codes::OVERLOADED,
-                                "message": reason,
-                                "retry_after_ms": retry_after_ms,
-                            }),
-                        );
-                        obj.insert("job".to_string(), wire::snapshot_to_json(&snap));
-                        return Value::Object(obj);
-                    }
-                    let mut obj = ok_response("submit");
-                    obj.insert("id".to_string(), Value::from(id));
-                    Value::Object(obj)
+                    submitted_response(handle, "submit", id)
                 }
                 Err(e) => reject_with(handle, Some(&op), codes::BAD_REQUEST, e.to_string()),
+            }
+        }
+        "resubmit" => {
+            let Some(prior) = envelope.get("id").and_then(|v| v.as_u64()) else {
+                return envelope_err(
+                    handle,
+                    Some(&op),
+                    "missing or non-integer field 'id'".into(),
+                );
+            };
+            // `request` is optional: present, it is the revised spec;
+            // absent, the prior request is replayed verbatim.
+            let revised = match envelope.get("request") {
+                None => None,
+                Some(value) => match wire::job_request_from_json(value) {
+                    Ok(request) => Some(request),
+                    Err(e) => {
+                        return reject_with(handle, Some(&op), codes::BAD_REQUEST, e.to_string());
+                    }
+                },
+            };
+            telemetry.counter("service.net.resubmits", 1);
+            match handle.resubmit(prior as JobId, revised) {
+                Some(id) => {
+                    let mut response = submitted_response(handle, "resubmit", id);
+                    if let Value::Object(obj) = &mut response {
+                        obj.insert("prior".to_string(), Value::from(prior));
+                    }
+                    response
+                }
+                None => error_response(
+                    Some(&op),
+                    codes::UNKNOWN_JOB,
+                    &format!("no job with id {prior}"),
+                    None,
+                ),
             }
         }
         "status" | "await" => {
@@ -867,6 +909,40 @@ impl NetClient {
                 io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("submit refused: {}", encode(&response)),
+                )
+            })
+    }
+
+    /// Resubmit a prior job, optionally with a revised request — the
+    /// interactive re-quote op. The server plans the new job through its
+    /// session cache, patching the prior session in place when the
+    /// revision is a patchable delta. Returns the full response (`id`
+    /// and `prior` on success; `UNKNOWN_JOB` if the daemon never issued
+    /// `prior`).
+    pub fn resubmit(&mut self, prior: JobId, revised: Option<&JobRequest>) -> io::Result<Value> {
+        let mut request = json!({ "op": "resubmit", "id": prior });
+        if let (Value::Object(obj), Some(revised)) = (&mut request, revised) {
+            obj.insert(
+                "request".to_string(),
+                wire::job_request_to_json(revised),
+            );
+        }
+        self.roundtrip(&request)
+    }
+
+    /// Resubmit and extract the new job id, mapping protocol-level
+    /// failure onto an error.
+    pub fn resubmit_id(&mut self, prior: JobId, revised: Option<&JobRequest>) -> io::Result<JobId> {
+        let response = self.resubmit(prior, revised)?;
+        response
+            .as_object()
+            .filter(|o| o.get("ok") == Some(&Value::from(true)))
+            .and_then(|o| o.get("id"))
+            .and_then(|id| id.as_u64())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("resubmit refused: {}", encode(&response)),
                 )
             })
     }

@@ -589,6 +589,64 @@ fn transcript_request() -> JobRequest {
     })
 }
 
+/// A revised `resubmit` over TCP is served by cloning and patching the
+/// prior session (observable in cache stats) and its answer is
+/// byte-identical to submitting the revised request cold on a fresh
+/// daemon.
+#[test]
+fn resubmit_requotes_via_clone_and_patch() {
+    let mut config = quiet_config().with_workers(1);
+    // Pruning off keeps the DAG shape insensitive to coefficient
+    // tweaks, putting the revision on the fast clone-and-patch tier.
+    config.prune = astra::core::PruneConfig::off();
+
+    let base = JobRequest::new(
+        "requote",
+        JobSpec::uniform("requote", 6, 2.0, WorkloadProfile::uniform_test()),
+        Objective::cheapest(),
+    )
+    .with_sim(SimOptions {
+        noise_cv: 0.0,
+        seed: 3,
+        replications: 0,
+    });
+    let mut revised = base.clone();
+    revised.job.profile.map_secs_per_mb_128 *= 1.4;
+
+    let (daemon, server, addr) = start_server(config.clone(), NetConfig::default(), Telemetry::disabled());
+    let mut client = NetClient::connect(&addr).unwrap();
+    let prior = client.submit_id(&base).unwrap();
+    client.await_done(prior).unwrap();
+    let requote = client.resubmit_id(prior, Some(&revised)).unwrap();
+    assert_ne!(requote, prior);
+    let mut patched_snap = client.await_done(requote).unwrap();
+    let stats = daemon.handle().cache_stats();
+    assert!(stats.patched >= 1, "revision was not clone-and-patched: {stats:?}");
+    server.shutdown();
+    daemon.shutdown();
+
+    // Fresh daemon, same revised request submitted cold.
+    let (daemon, server, addr) = start_server(config, NetConfig::default(), Telemetry::disabled());
+    let mut client = NetClient::connect(&addr).unwrap();
+    let cold = client.submit_id(&revised).unwrap();
+    let mut cold_snap = client.await_done(cold).unwrap();
+    server.shutdown();
+    daemon.shutdown();
+
+    for snap in [&mut patched_snap, &mut cold_snap] {
+        normalize_times(snap);
+        // Ids and cache-hit flags legitimately differ between the two
+        // daemons; everything else must not.
+        if let Value::Object(response) = snap {
+            if let Some(Value::Object(job)) = response.get_mut("job") {
+                job.remove("id");
+                job.remove("session_cache_hit");
+            }
+        }
+    }
+    assert_eq!(patched_snap, cold_snap, "patched re-quote drifted from a cold plan");
+}
+
 /// The client lines of the PROTOCOL.md session, in order.
 fn transcript_client_lines() -> Vec<String> {
     let submit = serde_json::json!({
@@ -600,6 +658,9 @@ fn transcript_client_lines() -> Vec<String> {
         serde_json::to_string(&submit).unwrap(),
         r#"{"id":1,"op":"await"}"#.to_string(),
         r#"{"id":1,"op":"status"}"#.to_string(),
+        r#"{"id":1,"op":"resubmit"}"#.to_string(),
+        r#"{"id":2,"op":"await"}"#.to_string(),
+        r#"{"id":99,"op":"resubmit"}"#.to_string(),
         r#"{"op":"frobnicate"}"#.to_string(),
         r#"{"id":99,"op":"status"}"#.to_string(),
     ]
